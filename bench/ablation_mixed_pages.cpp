@@ -1,0 +1,139 @@
+// Ablation for the paper's future work (§6): "Ideally, the kernel and
+// memory allocation library should be able to allocate a mix of large
+// pages for the bigger allocations and the typical 4KB pages for the
+// smaller allocations."
+//
+// A synthetic application image with a few large arrays and many small
+// ones is mapped under three policies — all-4KB, all-2MB, and mixed
+// (2 MB only for allocations ≥ 2 MB) — and a workload streaming the large
+// arrays while hopping among the small ones is simulated. Metrics: mapped
+// memory vs requested (internal fragmentation waste), DTLB walks, cycles.
+//
+// Expected: all-2MB wastes ~2 MB per small allocation and burns the small
+// 2 MB TLB banks on scattered small objects; mixed keeps the all-2MB
+// performance on the big arrays with the all-4KB memory efficiency.
+#include "sim/machine.hpp"
+#include "support/format.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+using namespace lpomp;
+
+namespace {
+
+struct Alloc {
+  std::size_t bytes;
+  bool big;
+};
+
+struct PolicyResult {
+  std::size_t requested = 0;
+  std::size_t mapped = 0;
+  count_t walks = 0;
+  cycles_t cycles = 0;
+};
+
+PolicyResult run_policy(const std::vector<Alloc>& allocs,
+                        const std::function<PageKind(std::size_t)>& policy,
+                        count_t iterations) {
+  mem::PhysMem pm(GiB(2));
+  mem::AddressSpace space(pm);
+
+  struct Mapped {
+    mem::Region region;
+    bool big;
+  };
+  std::vector<Mapped> regions;
+  PolicyResult result;
+  for (const Alloc& a : allocs) {
+    const PageKind kind = policy(a.bytes);
+    regions.push_back({space.map_region(a.bytes, kind,
+                                        a.big ? "big" : "small"),
+                       a.big});
+    result.requested += a.bytes;
+  }
+  result.mapped = space.mapped_bytes();
+
+  sim::Machine machine(sim::ProcessorSpec::opteron270(), sim::CostModel{},
+                       space, 1);
+  machine.begin_parallel();
+  sim::ThreadSim& t = machine.thread(0);
+  Rng rng(0x717ABBA5ULL);
+
+  // Workload: stream each big array; between big-array rows, touch a burst
+  // of random small objects (metadata / control structures).
+  for (count_t it = 0; it < iterations; ++it) {
+    for (const Mapped& m : regions) {
+      if (!m.big) continue;
+      for (vaddr_t off = 0; off < m.region.length; off += 64) {
+        t.touch(m.region.base + off, m.region.kind, Access::load);
+        if ((off & 0xFFF) == 0) {
+          // Hop to a few random small allocations.
+          for (int hop = 0; hop < 4; ++hop) {
+            const Mapped& s =
+                regions[static_cast<std::size_t>(rng.next_below(regions.size()))];
+            const vaddr_t so =
+                rng.next_below(s.region.length / 8) * 8;
+            t.touch(s.region.base + so, s.region.kind, Access::load);
+          }
+        }
+      }
+    }
+  }
+  machine.end_parallel();
+  machine.end_run();
+  result.walks = machine.totals().dtlb_walk_total();
+  result.cycles = machine.total_cycles();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto iterations = static_cast<count_t>(opts.get_int("iterations", 2));
+
+  // 3 big arrays + 192 small allocations (16-64 KB), like a real runtime's
+  // mix of data arrays and control blocks.
+  std::vector<Alloc> allocs;
+  for (int i = 0; i < 3; ++i) allocs.push_back({MiB(8), true});
+  Rng rng(0x5EEDFULL);
+  for (int i = 0; i < 192; ++i) {
+    allocs.push_back({KiB(16) + rng.next_below(4) * KiB(16), false});
+  }
+
+  std::cout << "Ablation (paper §6 future work): mixed page-size allocation "
+               "policy\n(3 x 8MB arrays + 192 small 16-64KB allocations, "
+               "Opteron geometry)\n\n";
+
+  const auto all4k = [](std::size_t) { return PageKind::small4k; };
+  const auto all2m = [](std::size_t) { return PageKind::large2m; };
+  const auto mixed = [](std::size_t bytes) {
+    return bytes >= kLargePageSize ? PageKind::large2m : PageKind::small4k;
+  };
+
+  TextTable table({"policy", "requested", "mapped", "waste", "DTLB walks",
+                   "cycles", "vs all-4KB"});
+  const PolicyResult base = run_policy(allocs, all4k, iterations);
+  for (auto& [name, policy] :
+       std::vector<std::pair<std::string, std::function<PageKind(std::size_t)>>>{
+           {"all-4KB", all4k}, {"all-2MB", all2m}, {"mixed", mixed}}) {
+    const PolicyResult r = run_policy(allocs, policy, iterations);
+    table.add_row(
+        {name, format_bytes(r.requested), format_bytes(r.mapped),
+         format_bytes(r.mapped - r.requested), format_count(r.walks),
+         format_count(r.cycles),
+         format_percent(1.0 - static_cast<double>(r.cycles) /
+                                  static_cast<double>(base.cycles))});
+  }
+  table.print();
+  std::cout << "\nMixed keeps (nearly) the all-2MB cycle savings at a small "
+               "fraction of its\nmemory waste — the allocator the paper asks "
+               "future kernels to provide.\n";
+  return 0;
+}

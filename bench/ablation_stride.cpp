@@ -1,0 +1,75 @@
+// Ablation for §3.1/§3.2 "Application Locality and Large Pages": data-TLB
+// behaviour as a function of access stride, 4 KB vs 2 MB pages, on the
+// Opteron TLB geometry.
+//
+// A single simulated thread strides through a 64 MB region. Expected shape:
+//  * stride ≤ 4 KB: both page sizes stay TLB-cheap (many accesses/page);
+//  * stride between 4 KB and 2 MB: every access touches a new 4 KB page
+//    (misses grow), while 2 MB pages still amortise — big win for 2 MB;
+//  * stride ≥ 2 MB: every access touches a new *huge* page too, and the
+//    tiny 2 MB TLB banks (8-entry L1, no L2 backing on the Opteron) thrash
+//    while the 512-entry 4 KB L2 DTLB can still cover the working set —
+//    the crossover where small pages win back, exactly the caveat in §3.2.
+#include "sim/machine.hpp"
+#include "support/format.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+#include <iostream>
+
+using namespace lpomp;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto region_bytes =
+      static_cast<std::size_t>(opts.get_int("region-mb", 64)) * MiB(1);
+  const auto accesses = static_cast<count_t>(opts.get_int("accesses", 2000000));
+
+  std::cout << "Ablation (paper §3.1-3.2): DTLB misses and cycles/access vs "
+               "stride,\nOpteron geometry, "
+            << format_bytes(region_bytes) << " region, " << accesses
+            << " accesses per point\n\n";
+
+  TextTable table({"stride", "4KB walks", "4KB cyc/access", "2MB walks",
+                   "2MB cyc/access", "2MB speedup"});
+
+  for (std::size_t stride :
+       {std::size_t{64}, KiB(1), KiB(4), KiB(16), KiB(64), KiB(256), MiB(1),
+        MiB(2), MiB(4), MiB(8)}) {
+    double cyc[2];
+    count_t walks[2];
+    for (PageKind kind : {PageKind::small4k, PageKind::large2m}) {
+      mem::PhysMem pm(2 * region_bytes);
+      mem::AddressSpace space(pm);
+      const mem::Region region = space.map_region(region_bytes, kind, "data");
+
+      sim::Machine machine(sim::ProcessorSpec::opteron270(), sim::CostModel{},
+                           space, 1);
+      machine.begin_parallel();
+      sim::ThreadSim& t = machine.thread(0);
+      vaddr_t offset = 0;
+      for (count_t i = 0; i < accesses; ++i) {
+        t.touch(region.base + offset, kind, Access::load);
+        offset += stride;
+        if (offset >= region_bytes) offset -= region_bytes;
+      }
+      machine.end_parallel();
+      machine.end_run();
+
+      const auto idx = static_cast<std::size_t>(kind);
+      cyc[idx] = static_cast<double>(machine.total_cycles()) /
+                 static_cast<double>(accesses);
+      walks[idx] = machine.totals().dtlb_walk_total();
+    }
+    table.add_row({format_bytes(stride), format_count(walks[0]),
+                   format_ratio(cyc[0]), format_count(walks[1]),
+                   format_ratio(cyc[1]), format_ratio(cyc[0] / cyc[1])});
+  }
+  table.print();
+  std::cout << "\nNote the crossover: beyond the 2MB stride the large-page "
+               "TLB banks thrash\n(speedup < 1) while the 512-entry 4KB L2 "
+               "DTLB still covers the working set —\nwhy applications with "
+               ">2MB strides (FT) 'might in fact benefit more' from small\n"
+               "pages on the Opteron (paper §3.2).\n";
+  return 0;
+}

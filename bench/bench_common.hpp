@@ -1,0 +1,72 @@
+// Shared plumbing for the paper-reproduction bench harnesses: platform
+// selection, runtime-config construction, and result formatting. Every
+// harness runs with sensible defaults (`for b in build/bench/*; do $b; done`
+// regenerates every table/figure) and honours --klass= / --kernels= /
+// LPOMP_* environment overrides.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "npb/npb.hpp"
+#include "support/format.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace lpomp::bench {
+
+inline sim::ProcessorSpec platform_by_name(const std::string& name) {
+  if (name == "xeon") return sim::ProcessorSpec::xeon_ht();
+  return sim::ProcessorSpec::opteron270();
+}
+
+inline npb::Klass klass_by_name(const std::string& name) {
+  if (name == "S") return npb::Klass::S;
+  if (name == "W") return npb::Klass::W;
+  if (name == "A") return npb::Klass::A;
+  if (name == "B") return npb::Klass::B;
+  return npb::Klass::R;
+}
+
+inline std::vector<npb::Kernel> kernels_from(const Options& opts) {
+  const std::string list = opts.get("kernels", "BT,CG,FT,SP,MG");
+  std::vector<npb::Kernel> out;
+  for (npb::Kernel k : npb::all_kernels()) {
+    if (list.find(npb::kernel_name(k)) != std::string::npos) out.push_back(k);
+  }
+  return out;
+}
+
+/// Runtime config for one simulated run.
+inline core::RuntimeConfig make_config(const sim::ProcessorSpec& spec,
+                                       unsigned threads, PageKind kind) {
+  core::RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  cfg.page_kind = kind;
+  cfg.sim = core::SimConfig{spec, sim::CostModel{}, 0x5eedULL};
+  return cfg;
+}
+
+/// One kernel run; aborts loudly if the kernel fails verification, since a
+/// wrong answer invalidates the timing.
+inline npb::NpbResult run_checked(npb::Kernel kernel, npb::Klass klass,
+                                  const sim::ProcessorSpec& spec,
+                                  unsigned threads, PageKind kind) {
+  npb::NpbResult r =
+      npb::run_kernel(kernel, klass, make_config(spec, threads, kind));
+  if (!r.verified) {
+    std::cerr << "VERIFICATION FAILED: " << npb::kernel_name(kernel) << "."
+              << npb::klass_name(klass) << " (" << spec.name << ", "
+              << page_kind_name(kind) << ", " << threads
+              << "T): " << r.verification_detail << "\n";
+    std::exit(2);
+  }
+  return r;
+}
+
+inline std::string improvement(double t4k, double t2m) {
+  return format_percent((t4k - t2m) / t4k);
+}
+
+}  // namespace lpomp::bench

@@ -1,0 +1,50 @@
+#include "core/barrier.hpp"
+
+namespace lpomp::core {
+
+SenseBarrier::SenseBarrier(unsigned n) : n_(n), local_(n) {
+  LPOMP_CHECK_MSG(n >= 1, "barrier needs at least one thread");
+}
+
+void SenseBarrier::arrive_and_wait(unsigned tid) {
+  LPOMP_CHECK(tid < n_);
+  const unsigned my_sense = local_[tid].sense;
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    // Last arriver: reset the count and flip the global sense.
+    arrived_.store(0, std::memory_order_relaxed);
+    global_sense_.store(my_sense, std::memory_order_release);
+    global_sense_.notify_all();
+  } else {
+    unsigned seen = global_sense_.load(std::memory_order_acquire);
+    while (seen != my_sense) {
+      global_sense_.wait(seen, std::memory_order_acquire);
+      seen = global_sense_.load(std::memory_order_acquire);
+    }
+  }
+  local_[tid].sense = 1 - my_sense;
+}
+
+MsgBarrier::MsgBarrier(dsm::MsgChannel& channel, unsigned team_size)
+    : channel_(channel), n_(team_size) {
+  LPOMP_CHECK_MSG(n_ >= 1, "barrier needs at least one thread");
+  LPOMP_CHECK_MSG(channel_.participants() >= n_,
+                  "message channel smaller than the team");
+}
+
+void MsgBarrier::arrive_and_wait(unsigned tid) {
+  LPOMP_CHECK(tid < n_);
+  const std::uint8_t token = 1;
+  if (tid == 0) {
+    for (unsigned t = 1; t < n_; ++t) {
+      (void)channel_.recv_value<std::uint8_t>(0, t);  // gather
+    }
+    for (unsigned t = 1; t < n_; ++t) {
+      channel_.send_value<std::uint8_t>(0, t, token);  // release
+    }
+  } else {
+    channel_.send_value<std::uint8_t>(tid, 0, token);
+    (void)channel_.recv_value<std::uint8_t>(tid, 0);
+  }
+}
+
+}  // namespace lpomp::core

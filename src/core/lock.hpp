@@ -1,0 +1,57 @@
+// Mutual-exclusion primitives for the runtime — the `omp_lock_t` /
+// `#pragma omp critical` equivalents. A test-and-test-and-set spinlock is
+// the right shape for the short critical sections of an intra-node OpenMP
+// runtime (the paper's configuration has no preemption concerns: one thread
+// per hardware context).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace lpomp::core {
+
+/// TTAS spinlock with exponential-ish backoff via yield.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (true) {
+      // Test first to avoid hammering the cache line with RMWs.
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard (omp critical body).
+class ScopedLock {
+ public:
+  explicit ScopedLock(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~ScopedLock() { lock_.unlock(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace lpomp::core

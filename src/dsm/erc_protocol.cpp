@@ -1,0 +1,78 @@
+#include "dsm/erc_protocol.hpp"
+
+namespace lpomp::dsm {
+
+namespace {
+// Average diff payload: SCASH sends only modified words; half a page is a
+// representative bound used for byte accounting.
+constexpr count_t kDiffBytes = kSmallPageSize / 2;
+}  // namespace
+
+ErcProtocol::ErcProtocol(unsigned nodes, std::size_t pages)
+    : nodes_(nodes), pages_(pages) {
+  LPOMP_CHECK_MSG(nodes >= 1, "ERC needs at least one node");
+  LPOMP_CHECK_MSG(pages >= 1, "ERC needs at least one page");
+  copies_.assign(static_cast<std::size_t>(nodes_) * pages_, Copy{});
+  home_version_.assign(pages_, 0);
+  // Each home starts with a valid copy of its own pages.
+  for (std::size_t p = 0; p < pages_; ++p) {
+    copy(home_of(p), p).state = State::clean;
+  }
+}
+
+void ErcProtocol::fetch(unsigned node, std::size_t page) {
+  ++stats_.page_fetches;
+  stats_.bytes_transferred += kSmallPageSize;
+  Copy& c = copy(node, page);
+  c.state = State::clean;
+  c.seen_version = home_version_[page];
+}
+
+void ErcProtocol::read(unsigned node, std::size_t page) {
+  if (!enabled_) return;
+  if (copy(node, page).state == State::invalid) fetch(node, page);
+}
+
+void ErcProtocol::write(unsigned node, std::size_t page) {
+  if (!enabled_) return;
+  Copy& c = copy(node, page);
+  if (c.state == State::invalid) fetch(node, page);
+  if (c.state == State::clean) {
+    // First write in this interval: twin the page so release can diff it.
+    ++stats_.twins_created;
+    c.state = State::dirty;
+  }
+}
+
+void ErcProtocol::acquire(unsigned node) {
+  if (!enabled_) return;
+  for (std::size_t p = 0; p < pages_; ++p) {
+    Copy& c = copy(node, p);
+    if (c.state == State::clean && c.seen_version < home_version_[p] &&
+        home_of(p) != node) {
+      c.state = State::invalid;
+      ++stats_.invalidations;
+    }
+  }
+}
+
+void ErcProtocol::release(unsigned node) {
+  if (!enabled_) return;
+  for (std::size_t p = 0; p < pages_; ++p) {
+    Copy& c = copy(node, p);
+    if (c.state != State::dirty) continue;
+    ++home_version_[p];
+    c.state = State::clean;
+    c.seen_version = home_version_[p];
+    if (home_of(p) != node) {
+      // Diff travels to the home node; the home applies it and stays clean.
+      ++stats_.diffs_sent;
+      stats_.bytes_transferred += kDiffBytes;
+      Copy& home_copy = copy(home_of(p), p);
+      home_copy.state = State::clean;
+      home_copy.seen_version = home_version_[p];
+    }
+  }
+}
+
+}  // namespace lpomp::dsm

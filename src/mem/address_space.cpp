@@ -1,0 +1,149 @@
+#include "mem/address_space.hpp"
+
+#include <stdexcept>
+
+namespace lpomp::mem {
+
+AddressSpace::AddressSpace(PhysMem& pm) : pm_(pm), table_(pm) {}
+
+AddressSpace::~AddressSpace() {
+  while (!regions_.empty()) unmap_region(regions_.begin()->first);
+}
+
+Region AddressSpace::map_region(std::size_t bytes, PageKind kind,
+                                std::string name, FrameSource* source) {
+  LPOMP_CHECK_MSG(bytes > 0, "empty region");
+  if (source == nullptr) source = &pm_;
+
+  const std::size_t psize = page_size(kind);
+  const std::size_t length = (bytes + psize - 1) / psize * psize;
+  const std::size_t pages = length / psize;
+  const std::size_t order = kind == PageKind::small4k ? 0 : PhysMem::kHugeOrder;
+
+  RegionState state;
+  state.region = Region{next_base_[static_cast<std::size_t>(kind)], length,
+                        kind, std::move(name)};
+  state.source = source;
+
+  for (std::size_t i = 0; i < pages; ++i) {
+    const vaddr_t va = state.region.base + i * psize;
+    auto block = source->take_block(order);
+    if (!block) {
+      // Roll back partial population before reporting exhaustion.
+      for (const auto& [mapped_va, mapping] : state.pages) {
+        table_.unmap(mapped_va);
+        mapping.source->return_block(mapping.block, order);
+      }
+      throw std::runtime_error(
+          "AddressSpace: cannot back region '" + state.region.name +
+          "' with " + std::string(page_kind_name(kind)) + " pages");
+    }
+    table_.map(va, *block, kind);
+    state.pages.emplace(va, PageMapping{*block, kind, source});
+  }
+
+  next_base_[static_cast<std::size_t>(kind)] += length;
+  mapped_bytes_[static_cast<std::size_t>(kind)] += length;
+  const Region result = state.region;
+  regions_.emplace(result.base, std::move(state));
+  return result;
+}
+
+void AddressSpace::unmap_region(vaddr_t base) {
+  auto it = regions_.find(base);
+  LPOMP_CHECK_MSG(it != regions_.end(), "unmap of unknown region");
+  RegionState& state = it->second;
+  for (const auto& [va, mapping] : state.pages) {
+    const bool was_mapped = table_.unmap(va);
+    LPOMP_CHECK(was_mapped);
+    const std::size_t order =
+        mapping.kind == PageKind::small4k ? 0 : PhysMem::kHugeOrder;
+    mapping.source->return_block(mapping.block, order);
+    mapped_bytes_[static_cast<std::size_t>(mapping.kind)] -=
+        page_size(mapping.kind);
+  }
+  regions_.erase(it);
+}
+
+bool AddressSpace::promote(vaddr_t chunk_base) {
+  LPOMP_CHECK_MSG(chunk_base % kLargePageSize == 0,
+                  "promotion chunk must be 2 MB aligned");
+  RegionState* state = find_state(chunk_base);
+  LPOMP_CHECK_MSG(state != nullptr, "promotion outside any region");
+  LPOMP_CHECK_MSG(
+      chunk_base + kLargePageSize <= state->region.base + state->region.length,
+      "promotion chunk exceeds its region");
+
+  // The chunk must currently consist of 512 small pages.
+  constexpr std::size_t kPagesPerChunk = kLargePageSize / kSmallPageSize;
+  for (std::size_t i = 0; i < kPagesPerChunk; ++i) {
+    auto it = state->pages.find(chunk_base + i * kSmallPageSize);
+    LPOMP_CHECK_MSG(it != state->pages.end() &&
+                        it->second.kind == PageKind::small4k,
+                    "promotion of a chunk that is not 4 KB-mapped");
+  }
+
+  // A promotion needs an aligned physical 2 MB block; under fragmentation
+  // this is exactly what fails (the motivation for the paper's boot-time
+  // preallocation).
+  auto huge = pm_.alloc_huge_frame();
+  if (!huge) return false;
+
+  for (std::size_t i = 0; i < kPagesPerChunk; ++i) {
+    const vaddr_t va = chunk_base + i * kSmallPageSize;
+    auto it = state->pages.find(va);
+    table_.unmap(va);
+    it->second.source->return_block(it->second.block, 0);
+    state->pages.erase(it);
+  }
+  table_.map(chunk_base, *huge, PageKind::large2m);
+  state->pages.emplace(chunk_base,
+                       PageMapping{*huge, PageKind::large2m, &pm_});
+  mapped_bytes_[static_cast<std::size_t>(PageKind::small4k)] -= kLargePageSize;
+  mapped_bytes_[static_cast<std::size_t>(PageKind::large2m)] += kLargePageSize;
+  ++promotions_;
+  return true;
+}
+
+PageKind AddressSpace::kind_at(vaddr_t vaddr) const {
+  const RegionState* state = find_state(vaddr);
+  LPOMP_CHECK_MSG(state != nullptr, "kind_at of unmapped address");
+  // Probe the huge-page base first, then the small-page base.
+  const vaddr_t huge_base = vaddr & ~(static_cast<vaddr_t>(kLargePageSize) - 1);
+  auto it = state->pages.find(huge_base);
+  if (it != state->pages.end() && it->second.kind == PageKind::large2m) {
+    return PageKind::large2m;
+  }
+  const vaddr_t small_base =
+      vaddr & ~(static_cast<vaddr_t>(kSmallPageSize) - 1);
+  it = state->pages.find(small_base);
+  LPOMP_CHECK_MSG(it != state->pages.end(), "kind_at of unmapped address");
+  return it->second.kind;
+}
+
+AddressSpace::RegionState* AddressSpace::find_state(vaddr_t vaddr) {
+  auto it = regions_.upper_bound(vaddr);
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  RegionState& s = it->second;
+  return vaddr < s.region.base + s.region.length ? &s : nullptr;
+}
+
+const AddressSpace::RegionState* AddressSpace::find_state(
+    vaddr_t vaddr) const {
+  return const_cast<AddressSpace*>(this)->find_state(vaddr);
+}
+
+const Region* AddressSpace::find_region(vaddr_t vaddr) const {
+  const RegionState* s = find_state(vaddr);
+  return s != nullptr ? &s->region : nullptr;
+}
+
+std::vector<Region> AddressSpace::regions() const {
+  std::vector<Region> out;
+  out.reserve(regions_.size());
+  for (const auto& [base, state] : regions_) out.push_back(state.region);
+  return out;
+}
+
+}  // namespace lpomp::mem

@@ -1,0 +1,74 @@
+#include "mem/hugetlbfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lpomp::mem {
+
+HugeTlbFs::HugeTlbFs(PhysMem& pm, std::size_t pool_pages)
+    : pm_(pm), total_pages_(pool_pages) {
+  pool_.reserve(pool_pages);
+  for (std::size_t i = 0; i < pool_pages; ++i) {
+    auto block = pm_.alloc_huge_frame();
+    if (!block) {
+      // Return what we got before failing; a half-mounted fs is useless.
+      for (paddr_t addr : pool_) pm_.return_block(addr, PhysMem::kHugeOrder);
+      throw std::runtime_error(
+          "HugeTlbFs: physical memory too fragmented/small to preallocate " +
+          std::to_string(pool_pages) + " huge pages");
+    }
+    pool_.push_back(*block);
+  }
+  // Hand out lowest addresses first for deterministic layouts.
+  std::sort(pool_.begin(), pool_.end(), std::greater<paddr_t>());
+}
+
+HugeTlbFs::~HugeTlbFs() {
+  // Only the free pool can be returned; pages still mapped out belong to the
+  // address spaces that took them and must be returned via return_block
+  // before the filesystem is unmounted. Enforced in debug runs:
+  for (paddr_t addr : pool_) pm_.return_block(addr, PhysMem::kHugeOrder);
+}
+
+std::optional<paddr_t> HugeTlbFs::take_block(std::size_t order) {
+  LPOMP_CHECK_MSG(order == PhysMem::kHugeOrder,
+                  "hugetlbfs only serves 2 MB blocks");
+  if (pool_.empty()) return std::nullopt;
+  const paddr_t addr = pool_.back();
+  pool_.pop_back();
+  return addr;
+}
+
+void HugeTlbFs::return_block(paddr_t addr, std::size_t order) {
+  LPOMP_CHECK(order == PhysMem::kHugeOrder);
+  LPOMP_CHECK_MSG(pool_.size() < total_pages_, "returning more pages than taken");
+  pool_.push_back(addr);
+}
+
+HugeTlbFs::FileInfo HugeTlbFs::create_file(const std::string& name,
+                                           std::size_t bytes) {
+  LPOMP_CHECK_MSG(!name.empty(), "file needs a name");
+  if (files_.count(name) != 0) {
+    throw std::runtime_error("HugeTlbFs: file exists: " + name);
+  }
+  const std::size_t pages = (bytes + kLargePageSize - 1) / kLargePageSize;
+  if (reserved_pages_ + pages > total_pages_) {
+    throw std::runtime_error(
+        "HugeTlbFs: reservation for '" + name + "' (" + std::to_string(pages) +
+        " pages) exceeds pool (" +
+        std::to_string(total_pages_ - reserved_pages_) + " unreserved)");
+  }
+  FileInfo info{name, pages * kLargePageSize, pages};
+  files_.emplace(name, info);
+  reserved_pages_ += pages;
+  return info;
+}
+
+void HugeTlbFs::unlink_file(const std::string& name) {
+  auto it = files_.find(name);
+  LPOMP_CHECK_MSG(it != files_.end(), "unlink of unknown hugetlbfs file");
+  reserved_pages_ -= it->second.pages;
+  files_.erase(it);
+}
+
+}  // namespace lpomp::mem

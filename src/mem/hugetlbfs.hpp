@@ -1,0 +1,73 @@
+// Simulated hugetlbfs (§3.3 "Large Page Allocation"): a pool of 2 MB pages
+// preallocated at mount time, handed out in O(1) with no buddy-allocator
+// work and no fragmentation failures for the lifetime of the run. Files
+// created in the filesystem reserve pages; mapping a file consumes them.
+//
+// This mirrors how the paper's modified Omni/SCASH obtains memory: the
+// runtime mmap()s a file on hugetlbfs at startup and every shared/global
+// allocation is carved from that mapping.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "support/types.hpp"
+
+namespace lpomp::mem {
+
+class HugeTlbFs final : public FrameSource {
+ public:
+  /// Mounts the filesystem and preallocates `pool_pages` 2 MB pages from
+  /// `pm` (like `echo N > nr_hugepages` at boot). Throws std::runtime_error
+  /// if physical memory cannot supply the pool — exactly the condition that
+  /// makes early preallocation important.
+  HugeTlbFs(PhysMem& pm, std::size_t pool_pages);
+  ~HugeTlbFs() override;
+
+  HugeTlbFs(const HugeTlbFs&) = delete;
+  HugeTlbFs& operator=(const HugeTlbFs&) = delete;
+
+  // --- FrameSource: blocks come from the preallocated pool -----------------
+  /// Only huge-page-order blocks can be taken; the pool is pre-split.
+  std::optional<paddr_t> take_block(std::size_t order) override;
+  void return_block(paddr_t addr, std::size_t order) override;
+
+  // --- file-level API (shape of the real hugetlbfs) ------------------------
+  struct FileInfo {
+    std::string name;
+    std::size_t size_bytes = 0;   ///< rounded up to 2 MB
+    std::size_t pages = 0;
+  };
+
+  /// Creates a file and reserves its pages against the pool. Throws if the
+  /// reservation cannot be satisfied (mirrors mmap on hugetlbfs returning
+  /// ENOMEM when nr_hugepages is too small).
+  FileInfo create_file(const std::string& name, std::size_t bytes);
+
+  /// Deletes a file and releases its reservation.
+  void unlink_file(const std::string& name);
+
+  bool file_exists(const std::string& name) const {
+    return files_.count(name) != 0;
+  }
+
+  // --- accounting, matching /proc/meminfo's HugePages_* fields -------------
+  std::size_t total_pages() const { return total_pages_; }
+  std::size_t free_pages() const { return pool_.size(); }
+  std::size_t reserved_pages() const { return reserved_pages_; }
+  /// Pages actually mapped out via take_block.
+  std::size_t in_use_pages() const {
+    return total_pages_ - pool_.size();
+  }
+
+ private:
+  PhysMem& pm_;
+  std::size_t total_pages_;
+  std::vector<paddr_t> pool_;  // LIFO free pool: O(1) take/return
+  std::size_t reserved_pages_ = 0;
+  std::map<std::string, FileInfo> files_;
+};
+
+}  // namespace lpomp::mem

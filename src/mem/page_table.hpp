@@ -1,0 +1,104 @@
+// x86-64-style radix page table (PML4 → PDPT → PD → PT with 9-bit indices),
+// the paper's Figure 2 substrate. A 4 KB mapping is a leaf at the bottom
+// level; a 2 MB mapping is a leaf one level up (a PD/PMD-level leaf), so a
+// page walk for a huge page touches one fewer table — that difference, plus
+// the TLB-reach difference, is the entire mechanism under study.
+//
+// Table nodes occupy real simulated frames from PhysMem, so page-table
+// overhead is visible in footprint accounting, and the walk cost reported to
+// the cost model equals the number of tables actually traversed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "support/types.hpp"
+
+namespace lpomp::mem {
+
+/// Outcome of a page walk.
+struct WalkResult {
+  bool present = false;
+  paddr_t paddr = 0;        ///< translated physical address (valid if present)
+  PageKind kind = PageKind::small4k;
+  unsigned levels_touched = 0;  ///< memory accesses the walk performed
+  /// Physical address of the table entry read at each level — the hardware
+  /// walker fetches these through the data-cache hierarchy, so neighbouring
+  /// translations share cached PTE lines (one 64 B line maps 8 pages).
+  paddr_t entry_addr[4] = {0, 0, 0, 0};
+};
+
+class PageTable {
+ public:
+  /// Standard x86-64 long mode: 4 levels of 9 bits over a 12-bit offset.
+  static constexpr unsigned kLevels = 4;
+  static constexpr unsigned kBitsPerLevel = 9;
+  static constexpr std::size_t kEntriesPerNode = std::size_t{1} << kBitsPerLevel;
+
+  /// `pm` supplies frames for table nodes; it must outlive the table.
+  explicit PageTable(PhysMem& pm);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Installs a translation. `vaddr` and `paddr` must be aligned to the page
+  /// size of `kind`. Remapping an already-present page is a logic error.
+  void map(vaddr_t vaddr, paddr_t paddr, PageKind kind);
+
+  /// Removes a translation; returns false if none was present.
+  bool unmap(vaddr_t vaddr);
+
+  /// Full page walk. levels_touched = 4 for a 4 KB page, 3 for a 2 MB page,
+  /// or the depth reached when the walk faults.
+  WalkResult walk(vaddr_t vaddr) const;
+
+  /// Number of table nodes currently allocated (each occupies one 4 KB frame).
+  std::size_t node_count() const { return live_nodes_; }
+
+  /// Simulated bytes consumed by the table structure itself.
+  std::size_t overhead_bytes() const { return live_nodes_ * kSmallPageSize; }
+
+  /// Count of translations installed, by page kind.
+  count_t mapped_pages(PageKind kind) const {
+    return mapped_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  struct Entry {
+    bool present = false;
+    bool leaf = false;
+    // For a leaf: physical page address. For an interior entry: index into
+    // nodes_ of the child table.
+    std::uint64_t value = 0;
+  };
+  struct Node {
+    std::vector<Entry> entries;
+    paddr_t frame = 0;  ///< simulated frame backing this node
+    Node() : entries(kEntriesPerNode) {}
+  };
+
+  static unsigned index_at(vaddr_t vaddr, unsigned level) {
+    // level 0 is the root (PML4): bits [47:39]; level 3 the PT: bits [20:12].
+    const unsigned shift =
+        kSmallPageShift + kBitsPerLevel * (kLevels - 1 - level);
+    return static_cast<unsigned>((vaddr >> shift) & (kEntriesPerNode - 1));
+  }
+
+  /// Depth of the leaf entry for this page kind: 3 (PT) for 4 KB, 2 (PD) for
+  /// 2 MB, counting the root as level 0.
+  static unsigned leaf_level(PageKind kind) {
+    return kind == PageKind::small4k ? kLevels - 1 : kLevels - 2;
+  }
+
+  std::size_t new_node();
+
+  PhysMem& pm_;
+  std::vector<Node> nodes_;        // nodes_[0] is the root; slots are reused
+  std::vector<std::size_t> free_slots_;
+  std::size_t live_nodes_ = 0;
+  count_t mapped_[2] = {0, 0};
+};
+
+}  // namespace lpomp::mem

@@ -1,0 +1,81 @@
+#include "mem/phys_mem.hpp"
+
+namespace lpomp::mem {
+
+PhysMem::PhysMem(std::size_t total_bytes)
+    : total_bytes_(total_bytes), free_bytes_(total_bytes) {
+  const std::size_t max_block = block_bytes(kMaxOrder);
+  LPOMP_CHECK_MSG(total_bytes > 0 && total_bytes % max_block == 0,
+                  "physical memory must be a multiple of the 4 MB max block");
+  for (paddr_t addr = 0; addr < total_bytes; addr += max_block) {
+    free_lists_[kMaxOrder].insert(addr);
+  }
+}
+
+std::optional<paddr_t> PhysMem::take_block(std::size_t order) {
+  LPOMP_CHECK(order <= kMaxOrder);
+  ++stats_.allocs;
+  stats_.last_alloc_work = 0;
+
+  // Find the smallest order >= requested with a free block.
+  std::size_t have = order;
+  while (have <= kMaxOrder && free_lists_[have].empty()) {
+    ++have;
+    ++stats_.last_alloc_work;
+  }
+  if (have > kMaxOrder) {
+    ++stats_.failed_allocs;
+    stats_.total_alloc_work += stats_.last_alloc_work;
+    return std::nullopt;
+  }
+
+  // Take the lowest-address block and split it down to the requested order.
+  paddr_t addr = *free_lists_[have].begin();
+  free_lists_[have].erase(free_lists_[have].begin());
+  ++stats_.last_alloc_work;
+  while (have > order) {
+    --have;
+    // Keep the low half, free the high half (the buddy).
+    free_lists_[have].insert(addr + block_bytes(have));
+    ++stats_.splits;
+    ++stats_.last_alloc_work;
+  }
+
+  free_bytes_ -= block_bytes(order);
+  stats_.total_alloc_work += stats_.last_alloc_work;
+  live_.emplace(addr, order);
+  return addr;
+}
+
+void PhysMem::return_block(paddr_t addr, std::size_t order) {
+  LPOMP_CHECK(order <= kMaxOrder);
+  LPOMP_CHECK_MSG(addr % block_bytes(order) == 0, "misaligned free");
+  LPOMP_CHECK_MSG(addr + block_bytes(order) <= total_bytes_, "free out of range");
+  LPOMP_CHECK_MSG(live_.erase({addr, order}) == 1,
+                  "free of a block that is not allocated (double free or "
+                  "wrong order)");
+  ++stats_.frees;
+  free_bytes_ += block_bytes(order);
+
+  // Coalesce with the buddy as long as it is also free.
+  while (order < kMaxOrder) {
+    const paddr_t buddy = buddy_of(addr, order);
+    auto it = free_lists_[order].find(buddy);
+    if (it == free_lists_[order].end()) break;
+    free_lists_[order].erase(it);
+    addr = std::min(addr, buddy);
+    ++order;
+    ++stats_.coalesces;
+  }
+  const bool inserted = free_lists_[order].insert(addr).second;
+  LPOMP_CHECK_MSG(inserted, "double free of physical block");
+}
+
+std::optional<std::size_t> PhysMem::largest_free_order() const {
+  for (std::size_t order = kMaxOrder + 1; order-- > 0;) {
+    if (!free_lists_[order].empty()) return order;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lpomp::mem

@@ -1,0 +1,43 @@
+#include "mem/promotion.hpp"
+
+namespace lpomp::mem {
+
+SuperpagePromoter::SuperpagePromoter(AddressSpace& space, const Region& region,
+                                     Config config)
+    : space_(space), config_(config) {
+  LPOMP_CHECK_MSG(region.kind == PageKind::small4k,
+                  "promoter watches 4 KB-mapped regions");
+  // Whole 2 MB chunks inside [base, base+length).
+  first_chunk_base_ =
+      (region.base + kLargePageSize - 1) & ~(vaddr_t{kLargePageSize} - 1);
+  const vaddr_t end = region.base + region.length;
+  const std::size_t chunks =
+      end > first_chunk_base_
+          ? static_cast<std::size_t>((end - first_chunk_base_) /
+                                     kLargePageSize)
+          : 0;
+  touches_.assign(chunks, 0);
+  promoted_.assign(chunks, 0);
+  failed_.assign(chunks, 0);
+}
+
+cycles_t SuperpagePromoter::on_touch(vaddr_t vaddr) {
+  ++stats_.touches;
+  const std::ptrdiff_t ci = chunk_of(vaddr);
+  if (ci < 0) return 0;
+  const auto c = static_cast<std::size_t>(ci);
+  if (promoted_[c] || failed_[c]) return 0;
+  if (++touches_[c] < config_.touch_threshold) return 0;
+
+  const vaddr_t chunk_base = first_chunk_base_ + c * kLargePageSize;
+  if (!space_.promote(chunk_base)) {
+    failed_[c] = 1;
+    ++stats_.failed_promotions;
+    return 0;
+  }
+  promoted_[c] = 1;
+  ++stats_.promotions;
+  return config_.copy_cycles + config_.shootdown_cycles;
+}
+
+}  // namespace lpomp::mem

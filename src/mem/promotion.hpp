@@ -1,0 +1,75 @@
+// Transparent superpage promotion — the related-work baseline (§5) the
+// paper positions itself against (Navarro et al., "Practical, transparent
+// operating system support for superpages"; Romer et al., online promotion).
+//
+// The policy watches touches to a 4 KB-mapped region at 2 MB-chunk
+// granularity and, once a chunk has been touched `touch_threshold` times,
+// relocates it onto one huge page (AddressSpace::promote). Promotion has a
+// real cost the static preallocation avoids: the 2 MB data copy, a TLB
+// shootdown, and — under physical-memory fragmentation — outright failure.
+// bench/ablation_promotion compares this online policy against the paper's
+// startup preallocation.
+#pragma once
+
+#include "mem/address_space.hpp"
+
+namespace lpomp::mem {
+
+class SuperpagePromoter {
+ public:
+  struct Config {
+    /// Touches to a chunk before promotion is attempted (Romer-style
+    /// online counting; ~the population heuristic at page granularity).
+    count_t touch_threshold = 4096;
+    /// Simulated cycles to relocate 2 MB of data (memory-bandwidth bound).
+    cycles_t copy_cycles = 300'000;
+    /// Simulated cycles for the inter-processor TLB shootdown.
+    cycles_t shootdown_cycles = 4'000;
+  };
+
+  /// Watches `region` (which must start fully 4 KB-mapped) inside `space`.
+  /// Only whole 2 MB-aligned chunks inside the region are promotable; a
+  /// misaligned head/tail stays on 4 KB pages.
+  SuperpagePromoter(AddressSpace& space, const Region& region, Config config);
+
+  /// Page kind currently backing `vaddr` (O(1) chunk lookup).
+  PageKind kind_at(vaddr_t vaddr) const {
+    const std::ptrdiff_t c = chunk_of(vaddr);
+    return c >= 0 && promoted_[static_cast<std::size_t>(c)]
+               ? PageKind::large2m
+               : PageKind::small4k;
+  }
+
+  /// Records one touch. Returns the promotion cost in simulated cycles if
+  /// this touch triggered a (successful) promotion, 0 otherwise. The caller
+  /// charges the cycles and performs the TLB shootdown (flush) — see
+  /// bench/ablation_promotion.
+  cycles_t on_touch(vaddr_t vaddr);
+
+  struct Stats {
+    count_t touches = 0;
+    count_t promotions = 0;
+    count_t failed_promotions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t promotable_chunks() const { return promoted_.size(); }
+
+ private:
+  std::ptrdiff_t chunk_of(vaddr_t vaddr) const {
+    if (vaddr < first_chunk_base_) return -1;
+    const auto c =
+        static_cast<std::size_t>((vaddr - first_chunk_base_) / kLargePageSize);
+    return c < promoted_.size() ? static_cast<std::ptrdiff_t>(c) : -1;
+  }
+
+  AddressSpace& space_;
+  Config config_;
+  vaddr_t first_chunk_base_ = 0;
+  std::vector<count_t> touches_;
+  std::vector<std::uint8_t> promoted_;
+  std::vector<std::uint8_t> failed_;  // don't retry a failed chunk
+  Stats stats_;
+};
+
+}  // namespace lpomp::mem

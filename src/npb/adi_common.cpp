@@ -1,0 +1,112 @@
+#include "npb/adi_common.hpp"
+
+namespace lpomp::npb {
+
+void compute_rhs(core::ThreadCtx& ctx, const AdiGrid& g, double sigma,
+                 bool sp_extras, const core::SharedArray<double>* speed,
+                 const core::SharedArray<double>* ainv) {
+  const int n = g.n;
+  auto u = ctx.view(g.u);
+  auto rhs = ctx.view(g.rhs);
+  auto forcing = ctx.view(g.forcing);
+  auto rho_i = ctx.view(g.rho_i);
+  auto us = ctx.view(g.us);
+  auto vs = ctx.view(g.vs);
+  auto ws = ctx.view(g.ws);
+  auto qs = ctx.view(g.qs);
+  auto square = ctx.view(g.square);
+  core::Accessor<double> speed_v, ainv_v;
+  if (sp_extras) {
+    speed_v = ctx.view(*speed);
+    ainv_v = ctx.view(*ainv);
+  }
+
+  const core::StaticRange ks =
+      core::static_partition(0, n, ctx.tid(), ctx.nthreads());
+
+  // Prologue: derived per-cell quantities, as in NPB compute_rhs.
+  for (core::index_t k = ks.begin; k < ks.end; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const auto c0 =
+            static_cast<std::size_t>(g.elem(i, j, static_cast<int>(k), 0));
+        const double r0 = u.load(c0);
+        const double r1 = u.load(c0 + 1);
+        const double r2 = u.load(c0 + 2);
+        const double r3 = u.load(c0 + 3);
+        const double r4 = u.load(c0 + 4);
+        const auto cc =
+            static_cast<std::size_t>(g.cell(i, j, static_cast<int>(k)));
+        const double inv = 1.0 / (1.0 + r0 * r0);
+        rho_i.store(cc, inv);
+        us.store(cc, r1 * inv);
+        vs.store(cc, r2 * inv);
+        ws.store(cc, r3 * inv);
+        const double q = 0.5 * (r1 * r1 + r2 * r2 + r3 * r3) * inv;
+        qs.store(cc, q);
+        square.store(cc, q + r4 * r4);
+        if (sp_extras) {
+          const double sp = std::sqrt(std::abs(q) + 1.0);
+          speed_v.store(cc, sp);
+          ainv_v.store(cc, 1.0 / sp);
+        }
+        ctx.compute(14);
+      }
+    }
+  }
+  ctx.barrier();
+
+  // rhs = sigma · Lap(u) + forcing  (Dirichlet zero outside the domain).
+  const core::index_t sx = kNComp;
+  const core::index_t sy = static_cast<core::index_t>(n) * kNComp;
+  const core::index_t sz = static_cast<core::index_t>(n) * n * kNComp;
+  for (core::index_t k = ks.begin; k < ks.end; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const core::index_t e0 = g.elem(i, j, static_cast<int>(k), 0);
+        for (int c = 0; c < kNComp; ++c) {
+          const auto e = static_cast<std::size_t>(e0 + c);
+          const double centre = u.load(e);
+          double lap = -6.0 * centre;
+          lap += i > 0 ? u.load(e - sx) : 0.0;
+          lap += i < n - 1 ? u.load(e + sx) : 0.0;
+          lap += j > 0 ? u.load(e - sy) : 0.0;
+          lap += j < n - 1 ? u.load(e + sy) : 0.0;
+          lap += static_cast<int>(k) > 0 ? u.load(e - sz) : 0.0;
+          lap += static_cast<int>(k) < n - 1 ? u.load(e + sz) : 0.0;
+          rhs.store(e, sigma * lap + forcing.load(e));
+        }
+        ctx.compute(9 * kNComp);
+      }
+    }
+  }
+  ctx.barrier();
+}
+
+double field_norm2(core::ThreadCtx& ctx, const AdiGrid& g) {
+  auto u = ctx.view(g.u);
+  const core::StaticRange r = core::static_partition(
+      0, g.cells() * kNComp, ctx.tid(), ctx.nthreads());
+  double local = 0.0;
+  for (core::index_t e = r.begin; e < r.end; ++e) {
+    const double v = u.load(static_cast<std::size_t>(e));
+    local += v * v;
+  }
+  ctx.compute(2 * r.size());
+  return ctx.reduce(local, std::plus<>{});
+}
+
+void add_update(core::ThreadCtx& ctx, const AdiGrid& g) {
+  auto u = ctx.view(g.u);
+  auto rhs = ctx.view(g.rhs);
+  const core::StaticRange r = core::static_partition(
+      0, g.cells() * kNComp, ctx.tid(), ctx.nthreads());
+  for (core::index_t e = r.begin; e < r.end; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    u.store(i, u.load(i) + rhs.load(i));
+  }
+  ctx.compute(r.size());
+  ctx.barrier();
+}
+
+}  // namespace lpomp::npb

@@ -1,0 +1,15 @@
+// NPB BT: ADI time-stepping with block-tridiagonal line solves — each cell
+// couples its 5 components through 5×5 blocks, so the solver "sequentially
+// accesses 5x5 blocks of 8-byte arrays" (§4.2). The heavy per-cell block
+// arithmetic (a 5×5 inversion and two block multiplies per cell per
+// direction) keeps BT compute-bound, which is why the paper sees no
+// significant gain from 2 MB pages despite a 2–3× DTLB-miss reduction.
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+NpbResult run_bt(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

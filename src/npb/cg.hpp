@@ -1,0 +1,18 @@
+// NPB CG: conjugate-gradient approximation of the smallest eigenvalue of a
+// large, sparse, symmetric positive-definite matrix with a random sparsity
+// pattern. The dominant access pattern is the sparse mat-vec: the matrix
+// value/index arrays are streamed sequentially while the direction vector
+// is gathered at random column positions — the "randomly generated matrix
+// entries ... stride size might be larger than a 4KB page" workload of
+// §4.2 that shows the paper's headline 25 % gain from 2 MB pages.
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+/// Runs CG at `klass` on `rt`; fills verification and checksum fields
+/// (profile and timing are added by the dispatcher).
+NpbResult run_cg(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

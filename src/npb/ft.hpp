@@ -1,0 +1,19 @@
+// NPB FT: 3-D FFT over a complex grid, computed as per-dimension passes of
+// 1-D FFTs (§4.2: "divides the DFT of any composite size N = N1×N2 into
+// many smaller DFTs"). Like NPB's cffts routines, each line is gathered
+// into a small contiguous scratch, transformed there, and scattered back —
+// so the memory system sees strided gathers/scatters whose stride is 16 B
+// (x pass), nx·16 B (y pass, 8 KB at class R — two 4 KB pages per step) and
+// nx·ny·16 B (z pass, a full 2 MB per step). The ≥2 MB stride is exactly
+// the regime where §3.2 predicts little benefit from huge pages: each
+// access lands on a different 2 MB page too, and the large-page TLB banks
+// are small. Hence the paper's flat FT result.
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+NpbResult run_ft(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

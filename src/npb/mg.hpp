@@ -1,0 +1,16 @@
+// NPB MG: multigrid V-cycles for a 3-D Poisson problem on a hierarchy of
+// grids. "Works continuously on a set of grids that are changed between
+// coarse and fine; it tests both short and long distance data movement"
+// (§4.2): the fine-grid sweeps stream whole planes (tens of KB apart in the
+// z direction), re-walking thousands of 4 KB pages every sweep, which is
+// why the paper measures a ≥10× DTLB-miss reduction and ~17 % speedup with
+// 2 MB pages.
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+NpbResult run_mg(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

@@ -1,0 +1,42 @@
+// Kernel dispatcher: builds the runtime (with the paper's startup
+// preallocation sized to the kernel's inventory), arms the instruction-
+// stream model with the kernel's binary size, runs the kernel, and collects
+// the simulated time and hardware-event profile.
+#include "npb/npb.hpp"
+
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/mg.hpp"
+#include "npb/params.hpp"
+#include "npb/sp.hpp"
+
+namespace lpomp::npb {
+
+NpbResult run_kernel(Kernel kernel, Klass klass, core::RuntimeConfig config) {
+  config.shared_pool_bytes = pool_bytes_for(kernel, klass);
+  core::Runtime rt(config);
+
+  const CodeModel cm = code_model(kernel);
+  rt.attach_code_model(static_cast<std::size_t>(binary_bytes(kernel)),
+                       cm.jump_period, cm.cold_fraction,
+                       config.code_page_kind);
+
+  NpbResult result;
+  switch (kernel) {
+    case Kernel::BT: result = run_bt(rt, klass); break;
+    case Kernel::CG: result = run_cg(rt, klass); break;
+    case Kernel::FT: result = run_ft(rt, klass); break;
+    case Kernel::SP: result = run_sp(rt, klass); break;
+    case Kernel::MG: result = run_mg(rt, klass); break;
+  }
+
+  result.simulated_seconds = rt.finish_seconds();
+  if (const sim::Machine* m = rt.machine()) {
+    result.profile = prof::ProfileReport::from_machine(
+        *m, std::string(kernel_name(kernel)) + "." + klass_name(klass));
+  }
+  return result;
+}
+
+}  // namespace lpomp::npb

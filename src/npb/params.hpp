@@ -1,0 +1,109 @@
+// Per-kernel problem parameters for each class. Internal to lpomp::npb.
+//
+// Classes S/W follow the spirit of the official NPB sizes (S is small
+// enough for unit tests). Class B is sized so that each kernel's *data
+// footprint* matches the NPB 3.0 class-B static allocation that the paper's
+// Table 2 measures. Class R is the reproduction class the figure benches
+// run: small enough to simulate in seconds, large enough that the working
+// set stands in the same relation to the simulated TLB/cache capacities as
+// class B does on the real machines (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "npb/npb.hpp"
+#include "support/error.hpp"
+
+namespace lpomp::npb {
+
+struct CgParams {
+  std::int64_t na;       ///< matrix order
+  int nonzer;            ///< off-diagonal nonzeros per row (even)
+  int inner_iters;       ///< CG iterations per outer step
+  int outer_iters;       ///< power-method outer steps
+  double shift;          ///< diagonal shift (conditioning)
+};
+
+struct MgParams {
+  int n;      ///< fine-grid cells per dimension (power of two)
+  int iters;  ///< V-cycles
+};
+
+struct FtParams {
+  int nx, ny, nz;  ///< grid dims (powers of two); layout x-major
+  int iters;       ///< evolve steps
+};
+
+struct AdiParams {
+  int n;      ///< cells per dimension (interior)
+  int iters;  ///< ADI time steps
+};
+
+inline CgParams cg_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {1400, 4, 9, 1, 10.0};
+    case Klass::W: return {35000, 6, 8, 2, 12.0};
+    case Klass::A: return {140000, 8, 10, 2, 20.0};
+    case Klass::B: return {1600000, 12, 25, 4, 60.0};
+    // R: the iterate vectors (512 KB) fit an L2 cache slice but span 128
+    // 4 KB pages — far past the Opteron's 32-entry L1 DTLB, the class-B
+    // regime where every random gather pays an L1-DTLB miss (and none
+    // with one 2 MB page).
+    case Klass::R: return {65536, 6, 12, 1, 20.0};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline MgParams mg_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {16, 2};
+    case Klass::W: return {64, 2};
+    case Klass::A: return {128, 3};
+    case Klass::B: return {256, 4};
+    case Klass::R: return {128, 2};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline FtParams ft_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {32, 16, 4, 2};
+    case Klass::W: return {128, 64, 4, 2};
+    case Klass::A: return {256, 128, 8, 3};
+    case Klass::B: return {512, 256, 256, 6};
+    // R keeps the paper-relevant stride structure: the y passes stride
+    // nx*16B = 8 KB (two 4 KB pages per step) and the z passes stride
+    // nx*ny*16B = 2 MB (a whole huge page per step).
+    case Klass::R: return {512, 256, 8, 1};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline AdiParams bt_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {12, 2};
+    case Klass::W: return {24, 2};
+    case Klass::A: return {64, 2};
+    case Klass::B: return {102, 6};
+    case Klass::R: return {58, 1};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline AdiParams sp_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {12, 2};
+    case Klass::W: return {24, 3};
+    case Klass::A: return {64, 3};
+    case Klass::B: return {102, 8};
+    case Klass::R: return {52, 2};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+}  // namespace lpomp::npb

@@ -1,0 +1,65 @@
+#include "prof/profile.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "support/format.hpp"
+
+namespace lpomp::prof {
+
+ProfileReport ProfileReport::from_machine(const sim::Machine& machine,
+                                          std::string label) {
+  ProfileReport report;
+  report.label_ = std::move(label);
+  report.run_seconds_ = machine.seconds();
+
+  const sim::ThreadCounters t = machine.totals();
+  const double secs = report.run_seconds_ > 0 ? report.run_seconds_ : 1.0;
+  auto add = [&report, secs](const char* name, count_t count) {
+    report.events_.push_back(
+        Event{name, count, static_cast<double>(count) / secs});
+  };
+
+  add(kCycles, machine.total_cycles());
+  add(kAccesses, t.accesses);
+  add(kL1dMiss, t.l1d_misses);
+  add(kL2Miss, t.l2d_misses);
+  add(kDtlbL1Miss, t.dtlb_l1_misses);
+  add(kDtlbWalk, t.dtlb_walk_total());
+  add(kDtlbWalk4k, t.dtlb_walks[static_cast<std::size_t>(PageKind::small4k)]);
+  add(kDtlbWalk2m, t.dtlb_walks[static_cast<std::size_t>(PageKind::large2m)]);
+  add(kItlbMiss, t.itlb_misses);
+  add(kWalkLevels, t.walk_levels);
+  add(kPrefetchCovered, t.prefetch_covered);
+  add(kLongStalls, t.long_stalls);
+  return report;
+}
+
+count_t ProfileReport::count(const std::string& name) const {
+  for (const Event& e : events_) {
+    if (e.name == name) return e.count;
+  }
+  return 0;
+}
+
+double ProfileReport::rate(const std::string& name) const {
+  for (const Event& e : events_) {
+    if (e.name == name) return e.per_second;
+  }
+  return 0.0;
+}
+
+void ProfileReport::print(std::ostream& os) const {
+  os << "opreport-style summary";
+  if (!label_.empty()) os << " for " << label_;
+  os << " (run time " << format_seconds(run_seconds_) << " simulated s)\n";
+  os << std::left << std::setw(28) << "event" << std::right << std::setw(16)
+     << "count" << std::setw(16) << "events/sec" << '\n';
+  for (const Event& e : events_) {
+    os << std::left << std::setw(28) << e.name << std::right << std::setw(16)
+       << e.count << std::setw(16) << std::fixed << std::setprecision(2)
+       << e.per_second << '\n';
+  }
+}
+
+}  // namespace lpomp::prof

@@ -1,0 +1,62 @@
+// OProfile-style reporting over the simulator's event counters.
+//
+// The paper uses OProfile to attribute performance effects: Figure 3 reports
+// aggregate ITLB misses per second of run time and Figure 5 reports DTLB
+// misses (normalised). This module turns a finished Machine run into the
+// same event table: exact counts (the simulator counts every event rather
+// than sampling) and rates over *simulated* seconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace lpomp::prof {
+
+struct Event {
+  std::string name;
+  count_t count = 0;
+  double per_second = 0.0;  ///< count / simulated run seconds
+};
+
+class ProfileReport {
+ public:
+  /// Snapshot of all counters of a machine whose run has ended
+  /// (machine.end_run() already called).
+  static ProfileReport from_machine(const sim::Machine& machine,
+                                    std::string label = {});
+
+  /// Count for an event name; 0 when absent.
+  count_t count(const std::string& name) const;
+  double rate(const std::string& name) const;
+
+  const std::vector<Event>& events() const { return events_; }
+  double run_seconds() const { return run_seconds_; }
+  const std::string& label() const { return label_; }
+
+  /// opreport-like text dump.
+  void print(std::ostream& os) const;
+
+  // Canonical event names.
+  static constexpr const char* kCycles = "CPU_CLK_UNHALTED";
+  static constexpr const char* kAccesses = "DATA_CACHE_ACCESSES";
+  static constexpr const char* kL1dMiss = "DATA_CACHE_MISSES";
+  static constexpr const char* kL2Miss = "L2_CACHE_MISS";
+  static constexpr const char* kDtlbL1Miss = "L1_DTLB_MISS";
+  static constexpr const char* kDtlbWalk = "L1_AND_L2_DTLB_MISS";
+  static constexpr const char* kDtlbWalk4k = "L1_AND_L2_DTLB_MISS_4K";
+  static constexpr const char* kDtlbWalk2m = "L1_AND_L2_DTLB_MISS_2M";
+  static constexpr const char* kItlbMiss = "ITLB_MISS";
+  static constexpr const char* kWalkLevels = "PAGE_WALK_LEVELS";
+  static constexpr const char* kPrefetchCovered = "PREFETCH_COVERED_MISSES";
+  static constexpr const char* kLongStalls = "LONG_LATENCY_STALLS";
+
+ private:
+  std::string label_;
+  double run_seconds_ = 0.0;
+  std::vector<Event> events_;
+};
+
+}  // namespace lpomp::prof

@@ -1,0 +1,60 @@
+#include "sim/processor_spec.hpp"
+
+namespace lpomp::sim {
+
+std::uint64_t ProcessorSpec::dtlb_coverage(PageKind kind) const {
+  std::uint64_t best = l1_dtlb.small4k.reach(kind);
+  if (kind == PageKind::large2m) best = l1_dtlb.large2m.reach(kind);
+  if (l2_dtlb) {
+    const tlb::TlbGeometry& g =
+        kind == PageKind::small4k ? l2_dtlb->small4k : l2_dtlb->large2m;
+    if (g.present()) best = std::max(best, g.reach(kind));
+  }
+  return best;
+}
+
+ProcessorSpec ProcessorSpec::opteron270() {
+  ProcessorSpec spec;
+  spec.name = "Opteron 270";
+  spec.clock_ghz = 2.0;
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.smt_per_core = 1;
+
+  // L1 TLBs are fully associative on K8; the L2 DTLB is 4-way and holds
+  // 4 KB translations only (paper §3.2: "The D2TLB in the Opteron does not
+  // have any entries for large pages").
+  spec.itlb = {"opteron.itlb", {32, 32}, {8, 8}};
+  spec.l1_dtlb = {"opteron.l1dtlb", {32, 32}, {8, 8}};
+  spec.l2_dtlb = tlb::Tlb::Config{"opteron.l2dtlb", {512, 4}, {0, 0}};
+
+  spec.l1d = {KiB(64), 64, 2};
+  spec.l2 = {MiB(1), 64, 16};
+  spec.l2_shared_per_chip = false;  // private 1 MB L2 per core
+  spec.smt_flush_on_switch = false;
+  return spec;
+}
+
+ProcessorSpec ProcessorSpec::xeon_ht() {
+  ProcessorSpec spec;
+  spec.name = "Intel Xeon (HT)";
+  spec.clock_ghz = 2.0;
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.smt_per_core = 2;
+
+  // Single-level DTLB: 128×4KB / 32×2MB (paper §3.2). The ITLB on the
+  // NetBurst parts holds 64 4 KB entries; large code pages use fragmented
+  // entries, modelled as a small dedicated bank.
+  spec.itlb = {"xeon.itlb", {64, 64}, {16, 16}};
+  spec.l1_dtlb = {"xeon.dtlb", {128, 128}, {32, 32}};
+  spec.l2_dtlb = std::nullopt;
+
+  spec.l1d = {KiB(16), 64, 8};
+  spec.l2 = {MiB(2), 64, 8};
+  spec.l2_shared_per_chip = true;  // cores of a chip share the L2
+  spec.smt_flush_on_switch = true;
+  return spec;
+}
+
+}  // namespace lpomp::sim

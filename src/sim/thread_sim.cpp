@@ -1,0 +1,202 @@
+#include "sim/thread_sim.hpp"
+
+namespace lpomp::sim {
+
+ThreadCounters& ThreadCounters::operator+=(const ThreadCounters& o) {
+  exec_cycles += o.exec_cycles;
+  stall_cycles += o.stall_cycles;
+  accesses += o.accesses;
+  stores += o.stores;
+  l1d_misses += o.l1d_misses;
+  l2d_misses += o.l2d_misses;
+  dtlb_l1_misses += o.dtlb_l1_misses;
+  dtlb_l2_hits += o.dtlb_l2_hits;
+  dtlb_walks[0] += o.dtlb_walks[0];
+  dtlb_walks[1] += o.dtlb_walks[1];
+  walk_levels += o.walk_levels;
+  itlb_lookups += o.itlb_lookups;
+  itlb_misses += o.itlb_misses;
+  prefetch_covered += o.prefetch_covered;
+  long_stalls += o.long_stalls;
+  return *this;
+}
+
+ThreadCounters ThreadCounters::minus(const ThreadCounters& o) const {
+  ThreadCounters d;
+  d.exec_cycles = exec_cycles - o.exec_cycles;
+  d.stall_cycles = stall_cycles - o.stall_cycles;
+  d.accesses = accesses - o.accesses;
+  d.stores = stores - o.stores;
+  d.l1d_misses = l1d_misses - o.l1d_misses;
+  d.l2d_misses = l2d_misses - o.l2d_misses;
+  d.dtlb_l1_misses = dtlb_l1_misses - o.dtlb_l1_misses;
+  d.dtlb_l2_hits = dtlb_l2_hits - o.dtlb_l2_hits;
+  d.dtlb_walks[0] = dtlb_walks[0] - o.dtlb_walks[0];
+  d.dtlb_walks[1] = dtlb_walks[1] - o.dtlb_walks[1];
+  d.walk_levels = walk_levels - o.walk_levels;
+  d.itlb_lookups = itlb_lookups - o.itlb_lookups;
+  d.itlb_misses = itlb_misses - o.itlb_misses;
+  d.prefetch_covered = prefetch_covered - o.prefetch_covered;
+  d.long_stalls = long_stalls - o.long_stalls;
+  return d;
+}
+
+ThreadSim::ThreadSim(const CostModel& cm, const mem::AddressSpace& space,
+                     tlb::Tlb::Config itlb, tlb::Tlb::Config l1_dtlb,
+                     std::optional<tlb::Tlb::Config> l2_dtlb,
+                     cache::CacheGeometry l1d, cache::CacheGeometry l2,
+                     std::uint64_t seed)
+    : cm_(&cm),
+      space_(&space),
+      tlbs_(std::move(itlb), std::move(l1_dtlb), std::move(l2_dtlb)),
+      l1d_("l1d", l1d),
+      l2_("l2", l2),
+      contended_mem_stall_(cm.mem_stall),
+      rng_(seed) {}
+
+void ThreadSim::touch(vaddr_t addr, PageKind kind, Access access) {
+  ThreadCounters& c = counters_;
+  ++c.accesses;
+  const bool is_store = access == Access::store;
+  if (is_store) ++c.stores;
+  c.exec_cycles += cm_->exec_per_access;
+
+  bool long_stall = false;
+
+  // --- address translation --------------------------------------------------
+  const vpn_t vpn = addr >> page_shift(kind);
+  switch (tlbs_.data_access(vpn, kind)) {
+    case tlb::DtlbHit::l1:
+      break;
+    case tlb::DtlbHit::l2:
+      ++c.dtlb_l1_misses;
+      ++c.dtlb_l2_hits;
+      c.stall_cycles += cm_->dtlb_l2_hit_stall;
+      break;
+    case tlb::DtlbHit::walk: {
+      ++c.dtlb_l1_misses;
+      ++c.dtlb_walks[static_cast<std::size_t>(kind)];
+      const mem::WalkResult walk = space_->translate(addr);
+      LPOMP_CHECK_MSG(walk.present, "simulated access to unmapped address");
+      LPOMP_CHECK_MSG(walk.kind == kind,
+                      "page-kind mismatch between region and page table");
+      c.walk_levels += walk.levels_touched;
+      // The hardware walker loads each level's entry through the data
+      // caches: neighbouring translations share PTE lines (8 entries per
+      // 64 B line), so sequential streams walk cheaply while scattered
+      // access patterns pay real memory latency for cold table entries.
+      for (unsigned l = 0; l < walk.levels_touched; ++l) {
+        c.stall_cycles += cm_->walk_level_stall;
+        const vaddr_t pte = walk.entry_addr[l];
+        if (l1d_.access(pte, false)) continue;
+        if (l2_.access(pte, false)) {
+          c.stall_cycles += cm_->l2_hit_stall;
+        } else {
+          c.stall_cycles += contended_mem_stall_;
+        }
+      }
+      // A full TLB miss drains the pipeline long enough to evict the thread
+      // context on flush-style SMT (paper §3.2, "memory load stalls
+      // typically evict the thread context").
+      long_stall = true;
+      break;
+    }
+  }
+
+  // --- data caches --------------------------------------------------------
+  if (l1d_.access(addr, is_store)) {
+    c.stall_cycles += cm_->l1_hit_stall;
+  } else {
+    ++c.l1d_misses;
+    if (l2_.access(addr, is_store)) {
+      c.stall_cycles += cm_->l2_hit_stall;
+    } else {
+      ++c.l2d_misses;
+      // The hardware stream prefetcher hides sequential-line misses within
+      // a page; the first line of every new page — and any non-unit-stride
+      // access — pays the full (contended) DRAM latency.
+      if (prefetcher_covers(addr >> 6, addr >> page_shift(kind))) {
+        ++c.prefetch_covered;
+        c.stall_cycles += cm_->prefetched_stall;
+      } else {
+        c.stall_cycles += contended_mem_stall_;
+        long_stall = true;
+      }
+    }
+  }
+
+  if (long_stall) ++c.long_stalls;
+
+  // --- instruction stream --------------------------------------------------
+  if (jump_period_ != 0 && --until_jump_ == 0) {
+    until_jump_ = jump_period_;
+    instruction_jump();
+  }
+}
+
+bool ThreadSim::prefetcher_covers(std::uint64_t line_addr,
+                                  std::uint64_t page_id) {
+  for (Stream& s : streams_) {
+    if (!s.valid || s.page != page_id) continue;
+    const std::uint64_t delta = line_addr - s.last_line;
+    if (delta == 1 || delta == ~std::uint64_t{0}) {  // ±1 line
+      s.last_line = line_addr;
+      // A stream restarted at a page boundary needs to re-detect direction
+      // and re-extend its prefetch distance: the first sequential miss
+      // after (re)allocation is still exposed; later ones are covered.
+      if (s.confidence >= 1) return true;
+      ++s.confidence;
+      return false;
+    }
+  }
+  // Not covered: start (or restart) a stream at this line.
+  Stream& slot = streams_[stream_rr_];
+  stream_rr_ = (stream_rr_ + 1) % kStreams;
+  slot.valid = true;
+  slot.last_line = line_addr;
+  slot.page = page_id;
+  slot.confidence = 0;
+  return false;
+}
+
+void ThreadSim::touch_run(vaddr_t addr, std::size_t n, PageKind kind,
+                          Access access) {
+  for (std::size_t i = 0; i < n; ++i) {
+    touch(addr + i * sizeof(double), kind, access);
+  }
+}
+
+void ThreadSim::attach_code(vaddr_t base, std::size_t size, PageKind kind,
+                            count_t jump_period, double cold_fraction) {
+  LPOMP_CHECK(size > 0);
+  code_base_ = base;
+  code_kind_ = kind;
+  code_pages_ = (size + page_size(kind) - 1) / page_size(kind);
+  jump_period_ = jump_period;
+  until_jump_ = jump_period == 0 ? 0 : jump_period;
+  cold_fraction_ = cold_fraction;
+}
+
+void ThreadSim::instruction_jump() {
+  // The hot working set (the parallel loop bodies and runtime entry points)
+  // spans the first kHotCodePages pages; cold jumps (startup helpers, rare
+  // library calls) target a uniform page of the binary.
+  std::size_t page;
+  if (rng_.next_double() < cold_fraction_) {
+    page = static_cast<std::size_t>(rng_.next_below(code_pages_));
+  } else {
+    page = static_cast<std::size_t>(
+        rng_.next_below(std::min(code_pages_, kHotCodePages)));
+  }
+  const vaddr_t addr =
+      code_base_ + static_cast<vaddr_t>(page) * page_size(code_kind_);
+  const vpn_t vpn = addr >> page_shift(code_kind_);
+
+  ++counters_.itlb_lookups;
+  if (!tlbs_.instr_access(vpn, code_kind_)) {
+    ++counters_.itlb_misses;
+    counters_.stall_cycles += cm_->itlb_miss_stall;
+  }
+}
+
+}  // namespace lpomp::sim

@@ -1,0 +1,133 @@
+// Per-simulated-thread accounting engine: every instrumented data access of
+// an application thread flows through here, probing that thread's view of
+// the TLB and cache hierarchy and accumulating execution and stall cycles.
+//
+// Sharing model: hardware structures that several simulated threads share
+// (the DTLB/L1 under SMT, the Xeon's chip-wide L2) are represented as
+// private slices with capacity divided by the number of sharers. This
+// first-order model of destructive interference keeps each thread's
+// accounting independent of host scheduling, so every figure regenerates
+// deterministically.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "mem/address_space.hpp"
+#include "sim/cost_model.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+#include "tlb/tlb_hierarchy.hpp"
+
+namespace lpomp::sim {
+
+/// Cumulative event and cycle counts for one simulated thread.
+struct ThreadCounters {
+  cycles_t exec_cycles = 0;   ///< issue/compute cycles (overlappable by SMT)
+  cycles_t stall_cycles = 0;  ///< memory-system stall cycles
+
+  count_t accesses = 0;
+  count_t stores = 0;
+  count_t l1d_misses = 0;
+  count_t l2d_misses = 0;            ///< misses to memory
+  count_t dtlb_l1_misses = 0;
+  count_t dtlb_l2_hits = 0;
+  count_t dtlb_walks[2] = {0, 0};    ///< full DTLB misses, by PageKind
+  count_t walk_levels = 0;           ///< page-table levels traversed
+  count_t itlb_lookups = 0;
+  count_t itlb_misses = 0;
+  count_t prefetch_covered = 0;      ///< L2 misses hidden by the stream prefetcher
+  count_t long_stalls = 0;           ///< uncovered L2-miss or page-walk events
+
+  cycles_t total_cycles() const { return exec_cycles + stall_cycles; }
+  count_t dtlb_walk_total() const { return dtlb_walks[0] + dtlb_walks[1]; }
+
+  ThreadCounters& operator+=(const ThreadCounters& o);
+  /// Element-wise difference (for region deltas); *this must dominate o.
+  ThreadCounters minus(const ThreadCounters& o) const;
+};
+
+class ThreadSim {
+ public:
+  /// `space` must outlive the ThreadSim; page-walk costs are derived from
+  /// real walks of its page table. TLB/cache configs are the (possibly
+  /// sharing-sliced) structures this thread sees.
+  ThreadSim(const CostModel& cm, const mem::AddressSpace& space,
+            tlb::Tlb::Config itlb, tlb::Tlb::Config l1_dtlb,
+            std::optional<tlb::Tlb::Config> l2_dtlb,
+            cache::CacheGeometry l1d, cache::CacheGeometry l2,
+            std::uint64_t seed);
+
+  ThreadSim(ThreadSim&&) = default;
+
+  /// Account one data access to simulated address `addr`, living in a region
+  /// backed by pages of `kind`.
+  void touch(vaddr_t addr, PageKind kind, Access access);
+
+  /// Account `n` sequential 8-byte element accesses starting at `addr`
+  /// (fast path for unit-stride loops; semantically identical to n touches).
+  void touch_run(vaddr_t addr, std::size_t n, PageKind kind, Access access);
+
+  /// Charge pure compute work (FP arithmetic etc.) that does not touch memory.
+  void add_compute(cycles_t cycles) { counters_.exec_cycles += cycles; }
+
+  /// Configure the instruction-stream model: the code region of the binary
+  /// and how often the thread's control flow leaves the current hot page
+  /// (one far jump every `jump_period` data accesses; `cold_fraction` of the
+  /// jumps target a uniformly random page of the binary instead of the hot
+  /// working set). See DESIGN.md §6.
+  void attach_code(vaddr_t base, std::size_t size, PageKind kind,
+                   count_t jump_period, double cold_fraction);
+
+  /// Set the number of threads actively sharing the memory system (for the
+  /// contention-inflated DRAM latency).
+  void set_active_threads(unsigned n) {
+    contended_mem_stall_ = cm_->contended_mem_stall(n);
+  }
+
+  const ThreadCounters& counters() const { return counters_; }
+
+  tlb::TlbHierarchy& tlbs() { return tlbs_; }
+  const cache::Cache& l1d() const { return l1d_; }
+  const cache::Cache& l2() const { return l2_; }
+
+ private:
+  void instruction_jump();
+
+  /// Stream-prefetcher probe for an L2 miss on `line_addr` (byte address >>
+  /// 6) inside page `page_id`. Returns true when the line continues an
+  /// active sequential stream within the same page, i.e. the prefetcher
+  /// already has it in flight. Misses (re)allocate a stream slot.
+  bool prefetcher_covers(std::uint64_t line_addr, std::uint64_t page_id);
+
+  const CostModel* cm_;
+  const mem::AddressSpace* space_;
+  tlb::TlbHierarchy tlbs_;
+  cache::Cache l1d_;
+  cache::Cache l2_;
+  cycles_t contended_mem_stall_;
+
+  // Instruction-stream model state.
+  vaddr_t code_base_ = 0;
+  std::size_t code_pages_ = 0;
+  PageKind code_kind_ = PageKind::small4k;
+  count_t jump_period_ = 0;  // 0 → code model disabled
+  count_t until_jump_ = 0;
+  double cold_fraction_ = 0.0;
+  static constexpr std::size_t kHotCodePages = 12;
+
+  // Stream-prefetcher state: last-seen line per detected stream, tagged
+  // with the page it is confined to. Round-robin allocation.
+  struct Stream {
+    std::uint64_t last_line = 0;
+    std::uint64_t page = 0;
+    std::uint8_t confidence = 0;  ///< sequential hits seen; covers at >= 2
+    bool valid = false;
+  };
+  static constexpr unsigned kStreams = 16;
+  Stream streams_[kStreams];
+  unsigned stream_rr_ = 0;
+
+  Rng rng_;
+  ThreadCounters counters_;
+};
+
+}  // namespace lpomp::sim

@@ -1,0 +1,34 @@
+// Error-checking helpers. Invariant violations in the simulator are
+// programming errors, so they throw std::logic_error with location context;
+// resource exhaustion (e.g. huge-page pool empty) throws std::runtime_error
+// from the owning module instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lpomp {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lpomp
+
+/// Invariant check that stays on in release builds. The simulator's results
+/// are only meaningful if its internal invariants hold, so these are never
+/// compiled out.
+#define LPOMP_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::lpomp::fail_check(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define LPOMP_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) ::lpomp::fail_check(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,62 @@
+// Human-readable formatting of byte counts, event counts, and times for the
+// benchmark harnesses' table output.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace lpomp {
+
+/// "371MB", "2.4GB", "512KB" — matches the granularity the paper's tables use.
+inline std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024, kMiB = kKiB * 1024, kGiB = kMiB * 1024;
+  std::ostringstream os;
+  auto emit = [&os](double v, const char* unit) {
+    if (v >= 100.0 || v == static_cast<std::uint64_t>(v)) {
+      os << static_cast<std::uint64_t>(v + 0.5) << unit;
+    } else {
+      os << std::fixed << std::setprecision(1) << v << unit;
+    }
+  };
+  if (bytes >= kGiB) {
+    emit(static_cast<double>(bytes) / static_cast<double>(kGiB), "GB");
+  } else if (bytes >= kMiB) {
+    emit(static_cast<double>(bytes) / static_cast<double>(kMiB), "MB");
+  } else if (bytes >= kKiB) {
+    emit(static_cast<double>(bytes) / static_cast<double>(kKiB), "KB");
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+/// "1.24e+06" style compact count for wide tables.
+inline std::string format_count(std::uint64_t n) {
+  if (n < 100000) return std::to_string(n);
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << static_cast<double>(n);
+  return os.str();
+}
+
+/// Seconds with sensible precision.
+inline std::string format_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(s < 1.0 ? 4 : 2) << s;
+  return os.str();
+}
+
+inline std::string format_ratio(double r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << r;
+  return os.str();
+}
+
+inline std::string format_percent(double frac) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << frac * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace lpomp

@@ -1,0 +1,74 @@
+// Tiny option parser shared by the bench harnesses and examples:
+// "--key=value" / "--flag" command-line arguments with environment-variable
+// fallbacks (LPOMP_<KEY>), so `for b in build/bench/*; do $b; done` runs with
+// sensible defaults while still being steerable.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lpomp {
+
+class Options {
+ public:
+  Options() = default;
+
+  Options(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) parse_arg(argv[i]);
+  }
+
+  /// Parses one "--key=value" or "--flag" token; other tokens are kept as
+  /// positional arguments.
+  void parse_arg(const std::string& arg) {
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      return;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "1";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+
+  /// Lookup order: command line, then LPOMP_<KEY> env (key uppercased,
+  /// '-' -> '_'), then the provided default.
+  std::string get(const std::string& key, const std::string& def) const {
+    if (auto it = values_.find(key); it != values_.end()) return it->second;
+    std::string env_name = "LPOMP_";
+    for (char c : key) {
+      env_name += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+    }
+    if (const char* env = std::getenv(env_name.c_str())) return env;
+    return def;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    const std::string v = get(key, std::to_string(def));
+    return std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    const std::string v = get(key, std::to_string(def));
+    return std::strtod(v.c_str(), nullptr);
+  }
+
+  bool get_flag(const std::string& key, bool def = false) const {
+    const std::string v = get(key, def ? "1" : "0");
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lpomp

@@ -1,0 +1,111 @@
+// Deterministic, seedable PRNGs. The reproduction must regenerate every
+// figure bit-identically, so no std::random_device or wall-clock seeding is
+// used anywhere; every consumer passes an explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace lpomp {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and small enough
+/// to keep one per simulated thread without cache pressure.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-derives the full 256-bit state from a 64-bit seed via splitmix64,
+  /// as recommended by the xoshiro authors.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift reduction; the tiny
+  /// modulo bias is irrelevant for workload generation.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LPOMP_CHECK(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// The NAS pseudo-random generator (linear congruential, 46-bit), used by the
+/// NPB kernels so that generated problems match the NPB definition:
+/// x_{k+1} = a * x_k mod 2^46, a = 5^13.
+class NasRng {
+ public:
+  static constexpr double kDefaultSeed = 314159265.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NasRng(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Returns the next value in (0, 1), advancing the sequence (NPB randlc).
+  double randlc() { return randlc_step(x_, kA); }
+
+  /// NPB vranlc: fill n values.
+  void vranlc(int n, double* out) {
+    for (int i = 0; i < n; ++i) out[i] = randlc();
+  }
+
+  double state() const { return x_; }
+
+ private:
+  // Double-double arithmetic exactly as in the NPB reference randlc.
+  static double randlc_step(double& x, double a) {
+    constexpr double r23 = 0x1.0p-23, r46 = 0x1.0p-46;
+    constexpr double t23 = 0x1.0p23, t46 = 0x1.0p46;
+    const double t1 = r23 * a;
+    const double a1 = static_cast<double>(static_cast<long long>(t1));
+    const double a2 = a - t23 * a1;
+    const double t1b = r23 * x;
+    const double x1 = static_cast<double>(static_cast<long long>(t1b));
+    const double x2 = x - t23 * x1;
+    const double t1c = a1 * x2 + a2 * x1;
+    const double t2 = static_cast<double>(static_cast<long long>(r23 * t1c));
+    const double z = t1c - t23 * t2;
+    const double t3 = t23 * z + a2 * x2;
+    const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+    x = t3 - t46 * t4;
+    return r46 * x;
+  }
+
+  double x_;
+};
+
+}  // namespace lpomp

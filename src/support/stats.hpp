@@ -1,0 +1,104 @@
+// Streaming statistics and a simple fixed-bucket histogram, used by the
+// profiler and the ablation benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lpomp {
+
+/// Welford online mean/variance plus min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over power-of-two buckets: bucket i counts values in
+/// [2^i, 2^{i+1}). Used for allocation-latency and stride distributions.
+class Log2Histogram {
+ public:
+  explicit Log2Histogram(std::size_t buckets = 40) : buckets_(buckets, 0) {}
+
+  void add(std::uint64_t value) {
+    std::size_t b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= value && b + 1 < buckets_.size()) {
+      ++b;
+    }
+    ++buckets_[value == 0 ? 0 : b];
+    ++total_;
+  }
+
+  std::uint64_t bucket(std::size_t i) const {
+    LPOMP_CHECK(i < buckets_.size());
+    return buckets_[i];
+  }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  /// Smallest value v such that at least `q` (0..1) of samples are <= 2^ceil.
+  std::uint64_t quantile_upper_bound(double q) const {
+    LPOMP_CHECK(q >= 0.0 && q <= 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return std::uint64_t{1} << (i + 1);
+    }
+    return std::uint64_t{1} << buckets_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lpomp

@@ -1,0 +1,54 @@
+// Minimal fixed-layout text table used by every bench harness so all paper
+// reproductions print in one consistent, diffable format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lpomp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&widths](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+    auto print_rule = [&] {
+      for (std::size_t w : widths) os << '+' << std::string(w + 2, '-');
+      os << "+\n";
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpomp

@@ -1,0 +1,63 @@
+// Fundamental scalar types shared across all lpomp modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lpomp {
+
+/// Simulated virtual address. The simulator keeps its own 64-bit address
+/// space decoupled from host pointers so that footprints of any size can be
+/// modelled on any machine.
+using vaddr_t = std::uint64_t;
+
+/// Simulated physical address.
+using paddr_t = std::uint64_t;
+
+/// Physical frame number (physical address >> 12).
+using pfn_t = std::uint64_t;
+
+/// Virtual page number (virtual address >> page shift of the mapping).
+using vpn_t = std::uint64_t;
+
+/// Simulated processor cycles. All reported "time" is cycles / clock_hz.
+using cycles_t = std::uint64_t;
+
+/// Event counts (TLB misses, cache misses, ...).
+using count_t = std::uint64_t;
+
+inline constexpr std::size_t kSmallPageShift = 12;           // 4 KB
+inline constexpr std::size_t kLargePageShift = 21;           // 2 MB
+inline constexpr std::size_t kSmallPageSize = std::size_t{1} << kSmallPageShift;
+inline constexpr std::size_t kLargePageSize = std::size_t{1} << kLargePageShift;
+
+inline constexpr std::size_t KiB(std::size_t n) { return n << 10; }
+inline constexpr std::size_t MiB(std::size_t n) { return n << 20; }
+inline constexpr std::size_t GiB(std::size_t n) { return n << 30; }
+
+/// Page size class of a mapping or a TLB entry.
+enum class PageKind : std::uint8_t {
+  small4k = 0,  ///< traditional 4 KB page
+  large2m = 1,  ///< x86-64 2 MB "huge"/"super" page
+};
+
+inline constexpr std::size_t page_shift(PageKind k) {
+  return k == PageKind::small4k ? kSmallPageShift : kLargePageShift;
+}
+
+inline constexpr std::size_t page_size(PageKind k) {
+  return std::size_t{1} << page_shift(k);
+}
+
+inline constexpr const char* page_kind_name(PageKind k) {
+  return k == PageKind::small4k ? "4KB" : "2MB";
+}
+
+/// Kind of a memory reference fed to the simulator.
+enum class Access : std::uint8_t {
+  load = 0,
+  store = 1,
+  ifetch = 2,
+};
+
+}  // namespace lpomp

@@ -1,0 +1,86 @@
+#include "tlb/tlb.hpp"
+
+namespace lpomp::tlb {
+
+Tlb::Tlb(Config config) : config_(std::move(config)) {
+  auto init_bank = [](Bank& b, const TlbGeometry& geom) {
+    b.geom = geom;
+    if (geom.present()) {
+      LPOMP_CHECK_MSG(geom.ways > 0 && geom.entries % geom.ways == 0,
+                      "TLB entries must divide evenly into ways");
+      b.entries.assign(geom.entries, Entry{});
+    }
+  };
+  init_bank(bank4k_, config_.small4k);
+  init_bank(bank2m_, config_.large2m);
+}
+
+bool Tlb::lookup(vpn_t vpn, PageKind kind) {
+  Bank& b = bank(kind);
+  const auto i = static_cast<std::size_t>(kind);
+  ++stats_.lookups[i];
+  if (!b.geom.present()) return false;
+  const bool hit = lookup_in(b, vpn);
+  if (hit) ++stats_.hits[i];
+  return hit;
+}
+
+bool Tlb::lookup_in(Bank& b, vpn_t vpn) {
+  if (b.mru_valid && b.mru_vpn == vpn) return true;
+
+  const unsigned sets = b.geom.sets();
+  const unsigned set = static_cast<unsigned>(vpn % sets);
+  Entry* base = &b.entries[static_cast<std::size_t>(set) * b.geom.ways];
+  for (unsigned w = 0; w < b.geom.ways; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.vpn == vpn) {
+      e.last_use = ++clock_;
+      b.mru_vpn = vpn;
+      b.mru_valid = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tlb::insert(vpn_t vpn, PageKind kind) {
+  Bank& b = bank(kind);
+  if (!b.geom.present()) return;
+  insert_in(b, vpn);
+}
+
+void Tlb::insert_in(Bank& b, vpn_t vpn) {
+  const unsigned sets = b.geom.sets();
+  const unsigned set = static_cast<unsigned>(vpn % sets);
+  Entry* base = &b.entries[static_cast<std::size_t>(set) * b.geom.ways];
+
+  Entry* victim = &base[0];
+  for (unsigned w = 0; w < b.geom.ways; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.vpn == vpn) {
+      // Already present (races between lookup and insert can't happen in the
+      // single-threaded simulator, but refills after an L2 hit land here).
+      e.last_use = ++clock_;
+      return;
+    }
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.last_use < victim->last_use) victim = &e;
+  }
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->last_use = ++clock_;
+  b.mru_vpn = vpn;
+  b.mru_valid = true;
+}
+
+void Tlb::flush() {
+  for (Bank* b : {&bank4k_, &bank2m_}) {
+    for (Entry& e : b->entries) e.valid = false;
+    b->mru_valid = false;
+  }
+}
+
+}  // namespace lpomp::tlb

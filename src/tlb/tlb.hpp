@@ -1,0 +1,137 @@
+// Translation Lookaside Buffer model.
+//
+// Real x86 TLBs keep *separate* entry arrays for 4 KB and 2 MB translations
+// (the paper's Table 1: e.g. the Xeon DTLB has 128 4 KB entries but only 32
+// 2 MB entries, and the Opteron's L2 DTLB has no 2 MB entries at all). That
+// asymmetry is the crux of §3.2 "Application Locality and Large Pages", so
+// the model keeps one set-associative structure per page kind, each with
+// true-LRU replacement within a set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace lpomp::tlb {
+
+/// Geometry of one TLB structure. entries == 0 means the structure cannot
+/// hold translations of that page kind (e.g. Opteron L2 DTLB for 2 MB).
+struct TlbGeometry {
+  unsigned entries = 0;
+  unsigned ways = 0;  ///< ways == entries → fully associative
+
+  bool present() const { return entries > 0; }
+  unsigned sets() const {
+    LPOMP_CHECK(present() && ways > 0 && entries % ways == 0);
+    return entries / ways;
+  }
+  /// Bytes of address space this structure can map at once.
+  std::uint64_t reach(PageKind kind) const {
+    return static_cast<std::uint64_t>(entries) * page_size(kind);
+  }
+
+  /// Geometry with capacity divided among `sharers` co-resident hardware
+  /// threads (the paper's "the effective number of TLB entries could
+  /// potentially be halved" under SMT). Keeps at least one set.
+  TlbGeometry shared_slice(unsigned sharers) const {
+    LPOMP_CHECK(sharers > 0);
+    if (sharers == 1 || !present()) return *this;
+    TlbGeometry slice = *this;
+    if (ways >= entries) {
+      // Fully associative: shrink the single set.
+      slice.entries = std::max(1u, entries / sharers);
+      slice.ways = slice.entries;
+    } else {
+      // Set associative: drop whole sets, keep associativity.
+      unsigned e = entries / sharers;
+      if (e < ways) e = ways;
+      slice.entries = e / ways * ways;
+      slice.ways = ways;
+    }
+    return slice;
+  }
+};
+
+/// One TLB level (e.g. "Opteron L1 DTLB"): a 4 KB structure and a 2 MB
+/// structure looked up in parallel by page kind.
+class Tlb {
+ public:
+  struct Config {
+    std::string name;
+    TlbGeometry small4k;
+    TlbGeometry large2m;
+  };
+
+  explicit Tlb(Config config);
+
+  /// True if this level can cache translations of `kind` at all.
+  bool supports(PageKind kind) const {
+    return geometry(kind).present();
+  }
+
+  /// Probe for a translation. A hit refreshes LRU state.
+  bool lookup(vpn_t vpn, PageKind kind);
+
+  /// Install a translation (evicting the set's LRU victim if full).
+  /// No-op if the level has no entries for this kind.
+  void insert(vpn_t vpn, PageKind kind);
+
+  /// Drop every entry (models a context switch without ASIDs/PCIDs —
+  /// pre-Nehalem x86, as in the paper's 2007 hardware).
+  void flush();
+
+  const TlbGeometry& geometry(PageKind kind) const {
+    return kind == PageKind::small4k ? config_.small4k : config_.large2m;
+  }
+  const std::string& name() const { return config_.name; }
+
+  struct Stats {
+    count_t lookups[2] = {0, 0};  ///< indexed by PageKind
+    count_t hits[2] = {0, 0};
+    count_t misses(PageKind k) const {
+      const auto i = static_cast<std::size_t>(k);
+      return lookups[i] - hits[i];
+    }
+    count_t total_lookups() const { return lookups[0] + lookups[1]; }
+    count_t total_misses() const {
+      return misses(PageKind::small4k) + misses(PageKind::large2m);
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Entry {
+    vpn_t vpn = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+  struct Bank {
+    TlbGeometry geom;
+    std::vector<Entry> entries;  // sets() * ways, set-major
+    // 1-entry MRU filter: re-touching the most recent translation is a
+    // guaranteed hit and leaves true-LRU order unchanged, so it can bypass
+    // the associative search entirely. This keeps the simulator fast under
+    // the high page locality of real access streams.
+    vpn_t mru_vpn = ~vpn_t{0};
+    bool mru_valid = false;
+  };
+
+  Bank& bank(PageKind kind) {
+    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+  }
+
+  bool lookup_in(Bank& b, vpn_t vpn);
+  void insert_in(Bank& b, vpn_t vpn);
+
+  Config config_;
+  Bank bank4k_;
+  Bank bank2m_;
+  std::uint64_t clock_ = 0;  // LRU timestamp source
+  Stats stats_;
+};
+
+}  // namespace lpomp::tlb

@@ -1,0 +1,48 @@
+#include "tlb/tlb_hierarchy.hpp"
+
+namespace lpomp::tlb {
+
+TlbHierarchy::TlbHierarchy(Tlb::Config itlb, Tlb::Config l1d,
+                           std::optional<Tlb::Config> l2d)
+    : itlb_(std::move(itlb)), l1d_(std::move(l1d)) {
+  if (l2d) l2d_.emplace(std::move(*l2d));
+}
+
+DtlbHit TlbHierarchy::data_access(vpn_t vpn, PageKind kind) {
+  if (l1d_.lookup(vpn, kind)) return DtlbHit::l1;
+
+  if (l2d_ && l2d_->supports(kind) && l2d_->lookup(vpn, kind)) {
+    l1d_.insert(vpn, kind);  // refill L1 from L2
+    return DtlbHit::l2;
+  }
+
+  // Full miss: the hardware walker fetches the translation and fills the
+  // hierarchy. A kind the L2 cannot hold (2 MB on the Opteron) fills L1 only,
+  // so such pages keep missing once the small L1 2 MB bank thrashes — the
+  // ">2 MB stride" caveat of §3.2.
+  ++walks_[static_cast<std::size_t>(kind)];
+  l1d_.insert(vpn, kind);
+  if (l2d_ && l2d_->supports(kind)) l2d_->insert(vpn, kind);
+  return DtlbHit::walk;
+}
+
+bool TlbHierarchy::instr_access(vpn_t vpn, PageKind kind) {
+  if (itlb_.lookup(vpn, kind)) return true;
+  itlb_.insert(vpn, kind);
+  return false;
+}
+
+void TlbHierarchy::flush_all() {
+  itlb_.flush();
+  l1d_.flush();
+  if (l2d_) l2d_->flush();
+}
+
+void TlbHierarchy::reset_stats() {
+  itlb_.reset_stats();
+  l1d_.reset_stats();
+  if (l2d_) l2d_->reset_stats();
+  walks_[0] = walks_[1] = 0;
+}
+
+}  // namespace lpomp::tlb

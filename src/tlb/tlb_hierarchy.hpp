@@ -1,0 +1,69 @@
+// Two-level data TLB plus instruction TLB, wired the way the paper's two
+// platforms are: the Opteron has an L1 DTLB (4 KB + 2 MB entries) backed by
+// an L2 DTLB (4 KB entries only); the Xeon has a single-level DTLB. One
+// hierarchy instance exists per core and is shared by both SMT contexts on
+// the Xeon — the sharing the paper says "may potentially halve" effective
+// capacity.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "tlb/tlb.hpp"
+
+namespace lpomp::tlb {
+
+/// Where a data translation was found.
+enum class DtlbHit : std::uint8_t {
+  l1,    ///< L1 DTLB hit — no penalty
+  l2,    ///< L1 miss, L2 DTLB hit — small penalty, L1 refilled
+  walk,  ///< full DTLB miss — hardware page walk required
+};
+
+class TlbHierarchy {
+ public:
+  /// `l2d` is optional: the Xeon model has no second data level.
+  TlbHierarchy(Tlb::Config itlb, Tlb::Config l1d,
+               std::optional<Tlb::Config> l2d);
+
+  /// Probes for a data translation, refilling on the way back:
+  /// a walk fills both levels (that support the kind), an L2 hit refills L1.
+  DtlbHit data_access(vpn_t vpn, PageKind kind);
+
+  /// Probes for an instruction translation; returns true on a hit and fills
+  /// on a miss.
+  bool instr_access(vpn_t vpn, PageKind kind);
+
+  /// Drops all translations (context switch on pre-ASID hardware).
+  void flush_all();
+
+  Tlb& itlb() { return itlb_; }
+  Tlb& l1d() { return l1d_; }
+  bool has_l2d() const { return l2d_.has_value(); }
+  Tlb& l2d() {
+    LPOMP_CHECK(has_l2d());
+    return *l2d_;
+  }
+
+  /// Misses that required a page walk (per page kind), i.e. the events
+  /// OProfile counts as "L1 and L2 DTLB miss" in the paper's Figure 5.
+  count_t walk_count(PageKind kind) const {
+    return walks_[static_cast<std::size_t>(kind)];
+  }
+  count_t walk_count() const { return walks_[0] + walks_[1]; }
+
+  count_t itlb_miss_count() const {
+    return itlb_.stats().misses(PageKind::small4k) +
+           itlb_.stats().misses(PageKind::large2m);
+  }
+
+  void reset_stats();
+
+ private:
+  Tlb itlb_;
+  Tlb l1d_;
+  std::optional<Tlb> l2d_;
+  count_t walks_[2] = {0, 0};
+};
+
+}  // namespace lpomp::tlb

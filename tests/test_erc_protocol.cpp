@@ -1,0 +1,142 @@
+// Unit tests for the SCASH-style eager-release-consistency protocol — and
+// for the disable switch the paper's intra-node configuration flips.
+#include <gtest/gtest.h>
+
+#include "dsm/erc_protocol.hpp"
+
+namespace lpomp::dsm {
+namespace {
+
+TEST(Erc, HomesAssignedRoundRobin) {
+  ErcProtocol p(3, 7);
+  EXPECT_EQ(p.home_of(0), 0u);
+  EXPECT_EQ(p.home_of(1), 1u);
+  EXPECT_EQ(p.home_of(2), 2u);
+  EXPECT_EQ(p.home_of(3), 0u);
+}
+
+TEST(Erc, HomeStartsWithValidCopy) {
+  ErcProtocol p(2, 4);
+  EXPECT_EQ(p.state(0, 0), ErcProtocol::State::clean);
+  EXPECT_EQ(p.state(1, 0), ErcProtocol::State::invalid);
+  EXPECT_EQ(p.state(1, 1), ErcProtocol::State::clean);
+}
+
+TEST(Erc, RemoteReadFetchesOnce) {
+  ErcProtocol p(2, 4);
+  p.read(1, 0);
+  EXPECT_EQ(p.stats().page_fetches, 1u);
+  EXPECT_EQ(p.state(1, 0), ErcProtocol::State::clean);
+  p.read(1, 0);  // now cached
+  EXPECT_EQ(p.stats().page_fetches, 1u);
+  EXPECT_EQ(p.stats().bytes_transferred, kSmallPageSize);
+}
+
+TEST(Erc, FirstWriteCreatesTwin) {
+  ErcProtocol p(2, 4);
+  p.write(0, 0);
+  EXPECT_EQ(p.stats().twins_created, 1u);
+  EXPECT_EQ(p.state(0, 0), ErcProtocol::State::dirty);
+  p.write(0, 0);  // same interval: no second twin
+  EXPECT_EQ(p.stats().twins_created, 1u);
+}
+
+TEST(Erc, WriteToRemotePageFetchesThenTwins) {
+  ErcProtocol p(2, 4);
+  p.write(1, 0);
+  EXPECT_EQ(p.stats().page_fetches, 1u);
+  EXPECT_EQ(p.stats().twins_created, 1u);
+}
+
+TEST(Erc, ReleaseSendsDiffHome) {
+  ErcProtocol p(2, 4);
+  p.write(1, 0);  // page 0 is homed at node 0
+  p.release(1);
+  EXPECT_EQ(p.stats().diffs_sent, 1u);
+  EXPECT_EQ(p.state(1, 0), ErcProtocol::State::clean);
+  EXPECT_EQ(p.state(0, 0), ErcProtocol::State::clean);
+}
+
+TEST(Erc, ReleaseOfHomePageSendsNoDiff) {
+  ErcProtocol p(2, 4);
+  p.write(0, 0);
+  p.release(0);
+  EXPECT_EQ(p.stats().diffs_sent, 0u);
+  EXPECT_EQ(p.state(0, 0), ErcProtocol::State::clean);
+}
+
+TEST(Erc, AcquireInvalidatesStaleCopies) {
+  ErcProtocol p(2, 4);
+  p.read(1, 0);                 // node 1 caches page 0
+  p.write(0, 0);                // home writes...
+  p.release(0);                 // ...and publishes a new version
+  p.acquire(1);                 // node 1 synchronises
+  EXPECT_EQ(p.state(1, 0), ErcProtocol::State::invalid);
+  EXPECT_EQ(p.stats().invalidations, 1u);
+  // Re-read fetches the fresh copy.
+  p.read(1, 0);
+  EXPECT_EQ(p.stats().page_fetches, 2u);
+}
+
+TEST(Erc, AcquireKeepsFreshCopies) {
+  ErcProtocol p(2, 4);
+  p.read(1, 0);
+  p.acquire(1);  // nothing changed
+  EXPECT_EQ(p.state(1, 0), ErcProtocol::State::clean);
+  EXPECT_EQ(p.stats().invalidations, 0u);
+}
+
+TEST(Erc, ReleaseConsistencyScenario) {
+  // Classic lock-protected handoff: node 0 writes, releases; node 1
+  // acquires, reads the fresh data, writes, releases; node 0 re-acquires.
+  ErcProtocol p(2, 2);
+  p.write(0, 1);  // page 1 homed at node 1: node 0 fetches, then twins
+  EXPECT_EQ(p.stats().page_fetches, 1u);
+  p.release(0);
+  EXPECT_EQ(p.stats().diffs_sent, 1u);
+  p.acquire(1);
+  p.read(1, 1);  // home already has the diff applied: no further fetch
+  EXPECT_EQ(p.stats().page_fetches, 1u);
+  p.write(1, 1);
+  p.release(1);
+  p.acquire(0);
+  EXPECT_EQ(p.state(0, 1), ErcProtocol::State::invalid);
+}
+
+TEST(Erc, DisabledModeIsFree) {
+  // The paper: "We only use the cluster OpenMP implementation in intra-node
+  // mode ... We disable this in our version."
+  ErcProtocol p(4, 16);
+  p.set_enabled(false);
+  for (unsigned n = 0; n < 4; ++n) {
+    for (std::size_t pg = 0; pg < 16; ++pg) {
+      p.read(n, pg);
+      p.write(n, pg);
+    }
+    p.acquire(n);
+    p.release(n);
+  }
+  EXPECT_EQ(p.stats().page_fetches, 0u);
+  EXPECT_EQ(p.stats().twins_created, 0u);
+  EXPECT_EQ(p.stats().diffs_sent, 0u);
+  EXPECT_EQ(p.stats().invalidations, 0u);
+  EXPECT_EQ(p.stats().bytes_transferred, 0u);
+}
+
+TEST(Erc, StatsResetWorks) {
+  ErcProtocol p(2, 2);
+  p.read(1, 0);
+  p.reset_stats();
+  EXPECT_EQ(p.stats().page_fetches, 0u);
+}
+
+TEST(Erc, BoundsChecked) {
+  ErcProtocol p(2, 2);
+  EXPECT_THROW(p.read(2, 0), std::logic_error);
+  EXPECT_THROW(p.read(0, 2), std::logic_error);
+  EXPECT_THROW(ErcProtocol(0, 1), std::logic_error);
+  EXPECT_THROW(ErcProtocol(1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpomp::dsm

@@ -1,0 +1,128 @@
+// Unit tests for the simulated hugetlbfs (preallocated 2 MB page pool).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/hugetlbfs.hpp"
+
+namespace lpomp::mem {
+namespace {
+
+TEST(HugeTlbFs, PreallocatesPoolAtMount) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 8);
+  EXPECT_EQ(fs.total_pages(), 8u);
+  EXPECT_EQ(fs.free_pages(), 8u);
+  EXPECT_EQ(fs.in_use_pages(), 0u);
+  EXPECT_EQ(pm.free_bytes(), MiB(32) - 8 * kLargePageSize);
+}
+
+TEST(HugeTlbFs, TakeIsAlignedAndLowestFirst) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 4);
+  auto a = fs.take_block(PhysMem::kHugeOrder);
+  auto b = fs.take_block(PhysMem::kHugeOrder);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a % kLargePageSize, 0u);
+  EXPECT_LT(*a, *b);
+}
+
+TEST(HugeTlbFs, PoolExhaustionReturnsNullopt) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 2);
+  EXPECT_TRUE(fs.take_block(PhysMem::kHugeOrder));
+  EXPECT_TRUE(fs.take_block(PhysMem::kHugeOrder));
+  EXPECT_FALSE(fs.take_block(PhysMem::kHugeOrder));
+  EXPECT_EQ(fs.free_pages(), 0u);
+}
+
+TEST(HugeTlbFs, OnlyServesHugeOrder) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 2);
+  EXPECT_THROW(fs.take_block(0), std::logic_error);
+}
+
+TEST(HugeTlbFs, ReturnReplenishesPool) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 2);
+  auto a = fs.take_block(PhysMem::kHugeOrder);
+  fs.return_block(*a, PhysMem::kHugeOrder);
+  EXPECT_EQ(fs.free_pages(), 2u);
+  EXPECT_TRUE(fs.take_block(PhysMem::kHugeOrder));
+}
+
+TEST(HugeTlbFs, OverReturnDetected) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 1);
+  EXPECT_THROW(fs.return_block(0, PhysMem::kHugeOrder), std::logic_error);
+}
+
+TEST(HugeTlbFs, MountFailsWhenMemoryTooSmall) {
+  PhysMem pm(MiB(8));
+  EXPECT_THROW(HugeTlbFs(pm, 100), std::runtime_error);
+  // Failed mount must not leak the partially built pool.
+  EXPECT_EQ(pm.free_bytes(), MiB(8));
+}
+
+TEST(HugeTlbFs, MountFailsUnderFragmentation) {
+  PhysMem pm(MiB(8));
+  // Take every frame, then free all but the first frame of each 2 MB slot:
+  // almost all memory is free, yet no aligned huge page exists.
+  std::vector<paddr_t> all;
+  while (auto f = pm.alloc_small_frame()) all.push_back(*f);
+  for (paddr_t f : all) {
+    if (f % kLargePageSize != 0) pm.return_block(f, 0);
+  }
+  EXPECT_THROW(HugeTlbFs(pm, 1), std::runtime_error);
+  for (paddr_t f : all) {
+    if (f % kLargePageSize == 0) pm.return_block(f, 0);
+  }
+  EXPECT_EQ(pm.free_bytes(), MiB(8));
+}
+
+TEST(HugeTlbFs, FileReservationAccounting) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 8);
+  const auto info = fs.create_file("shared_image", MiB(5));
+  EXPECT_EQ(info.pages, 3u);  // rounded up to 2 MB pages
+  EXPECT_EQ(info.size_bytes, MiB(6));
+  EXPECT_EQ(fs.reserved_pages(), 3u);
+  EXPECT_TRUE(fs.file_exists("shared_image"));
+  fs.unlink_file("shared_image");
+  EXPECT_EQ(fs.reserved_pages(), 0u);
+  EXPECT_FALSE(fs.file_exists("shared_image"));
+}
+
+TEST(HugeTlbFs, DuplicateFileRejected) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 8);
+  fs.create_file("f", MiB(2));
+  EXPECT_THROW(fs.create_file("f", MiB(2)), std::runtime_error);
+}
+
+TEST(HugeTlbFs, OverReservationRejected) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 4);
+  fs.create_file("a", MiB(6));  // 3 pages
+  EXPECT_THROW(fs.create_file("b", MiB(4)), std::runtime_error);  // needs 2
+  fs.create_file("c", MiB(2));  // exactly the last page
+  EXPECT_EQ(fs.reserved_pages(), 4u);
+}
+
+TEST(HugeTlbFs, UnlinkUnknownFileDetected) {
+  PhysMem pm(MiB(32));
+  HugeTlbFs fs(pm, 1);
+  EXPECT_THROW(fs.unlink_file("ghost"), std::logic_error);
+}
+
+TEST(HugeTlbFs, UnmountReturnsFreePoolToBuddy) {
+  PhysMem pm(MiB(32));
+  {
+    HugeTlbFs fs(pm, 8);
+    EXPECT_LT(pm.free_bytes(), MiB(32));
+  }
+  EXPECT_EQ(pm.free_bytes(), MiB(32));
+}
+
+}  // namespace
+}  // namespace lpomp::mem

@@ -1,0 +1,100 @@
+// Tests for the spinlock and the single/master work-sharing constructs.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/lock.hpp"
+#include "core/runtime.hpp"
+
+namespace lpomp::core {
+namespace {
+
+TEST(SpinLock, BasicLockUnlock) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  long counter = 0;  // deliberately unsynchronised: the lock must protect it
+  constexpr int kThreads = 4;
+  constexpr long kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (long i = 0; i < kIncrements; ++i) {
+        ScopedLock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SpinLock, TryLockNonBlocking) {
+  SpinLock lock;
+  std::thread holder([&lock] {
+    lock.lock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(lock.try_lock());  // returns immediately, not held
+  holder.join();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ThreadCtx, SingleRunsExactlyOnce) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  cfg.shared_pool_bytes = MiB(1);
+  Runtime rt(cfg);
+  std::atomic<int> runs{0};
+  std::atomic<int> observers{0};
+  rt.parallel([&](ThreadCtx& ctx) {
+    ctx.single([&runs] { runs.fetch_add(1); });
+    // The trailing barrier guarantees everyone sees the effect.
+    if (runs.load() == 1) observers.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(observers.load(), 4);
+}
+
+TEST(ThreadCtx, MasterRunsOnTidZeroOnly) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  cfg.shared_pool_bytes = MiB(1);
+  Runtime rt(cfg);
+  std::atomic<unsigned> who{99};
+  rt.parallel([&](ThreadCtx& ctx) {
+    ctx.master([&who, &ctx] { who.store(ctx.tid()); });
+  });
+  EXPECT_EQ(who.load(), 0u);
+}
+
+TEST(ThreadCtx, CriticalSectionWithSpinLock) {
+  // The omp-critical idiom: runtime-parallel region + shared SpinLock.
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  cfg.shared_pool_bytes = MiB(1);
+  Runtime rt(cfg);
+  SpinLock lock;
+  long shared_sum = 0;
+  rt.parallel([&](ThreadCtx&) {
+    for (int i = 0; i < 10000; ++i) {
+      ScopedLock guard(lock);
+      ++shared_sum;
+    }
+  });
+  EXPECT_EQ(shared_sum, 40000);
+}
+
+}  // namespace
+}  // namespace lpomp::core

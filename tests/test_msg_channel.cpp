@@ -1,0 +1,158 @@
+// Unit and concurrency tests for the intra-node message channel (§3.3).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "dsm/msg_channel.hpp"
+
+namespace lpomp::dsm {
+namespace {
+
+TEST(MsgChannel, ValueRoundTrip) {
+  MsgChannel ch(2);
+  ch.send_value<std::uint32_t>(0, 1, 0xDEADBEEF);
+  EXPECT_EQ(ch.recv_value<std::uint32_t>(1, 0), 0xDEADBEEFu);
+  EXPECT_EQ(ch.messages_sent(), 1u);
+}
+
+TEST(MsgChannel, FifoOrderPerPair) {
+  MsgChannel ch(2);
+  for (std::uint32_t i = 0; i < 10; ++i) ch.send_value(0, 1, i);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ch.recv_value<std::uint32_t>(1, 0), i);
+  }
+}
+
+TEST(MsgChannel, PairsAreIndependent) {
+  MsgChannel ch(3);
+  ch.send_value<int>(0, 1, 11);
+  ch.send_value<int>(2, 1, 22);
+  ch.send_value<int>(1, 0, 33);
+  EXPECT_EQ(ch.recv_value<int>(1, 2), 22);
+  EXPECT_EQ(ch.recv_value<int>(1, 0), 11);
+  EXPECT_EQ(ch.recv_value<int>(0, 1), 33);
+}
+
+TEST(MsgChannel, SelfSendAllowed) {
+  MsgChannel ch(1);
+  ch.send_value<int>(0, 0, 7);
+  EXPECT_EQ(ch.recv_value<int>(0, 0), 7);
+}
+
+TEST(MsgChannel, ThirtyTwoOutstandingLimit) {
+  MsgChannel ch(2);
+  const std::uint8_t token = 1;
+  for (std::size_t i = 0; i < MsgChannel::kSlotsPerPair; ++i) {
+    EXPECT_TRUE(ch.try_send(0, 1, &token, 1));
+  }
+  EXPECT_FALSE(ch.try_send(0, 1, &token, 1));  // 33rd message blocks
+  // Draining one slot frees capacity.
+  auto msg = ch.try_recv(1, 0);
+  ASSERT_TRUE(msg.has_value());
+  msg->release();
+  EXPECT_TRUE(ch.try_send(0, 1, &token, 1));
+}
+
+TEST(MsgChannel, OversizeMessageRejected) {
+  MsgChannel ch(2);
+  std::vector<std::byte> big(MsgChannel::kMaxMessage + 1);
+  EXPECT_THROW(ch.try_send(0, 1, big.data(), big.size()), std::logic_error);
+  // Exactly 1 KB is fine.
+  std::vector<std::byte> ok(MsgChannel::kMaxMessage);
+  EXPECT_TRUE(ch.try_send(0, 1, ok.data(), ok.size()));
+}
+
+TEST(MsgChannel, TryRecvEmptyIsNullopt) {
+  MsgChannel ch(2);
+  EXPECT_FALSE(ch.try_recv(1, 0).has_value());
+}
+
+TEST(MsgChannel, InPlaceReceiveHoldsSlotUntilRelease) {
+  MsgChannel ch(2);
+  const std::uint8_t token = 1;
+  for (std::size_t i = 0; i < MsgChannel::kSlotsPerPair; ++i) {
+    ch.send(0, 1, &token, 1);
+  }
+  {
+    auto msg = ch.try_recv(1, 0);
+    ASSERT_TRUE(msg);
+    // Receiver reads in place; the slot is still owned.
+    EXPECT_EQ(static_cast<std::uint8_t>(*msg->data()), 1);
+    EXPECT_FALSE(ch.try_send(0, 1, &token, 1));
+  }  // destructor releases
+  EXPECT_TRUE(ch.try_send(0, 1, &token, 1));
+}
+
+TEST(MsgChannel, ReceivedMoveTransfersOwnership) {
+  MsgChannel ch(2);
+  ch.send_value<int>(0, 1, 5);
+  auto a = ch.try_recv(1, 0);
+  ASSERT_TRUE(a);
+  MsgChannel::Received b = std::move(*a);
+  EXPECT_EQ(a->data(), nullptr);
+  ASSERT_NE(b.data(), nullptr);
+  EXPECT_EQ(b.size(), sizeof(int));
+}
+
+TEST(MsgChannel, InvalidParticipantsDetected) {
+  MsgChannel ch(2);
+  const std::uint8_t t = 0;
+  EXPECT_THROW(ch.try_send(0, 2, &t, 1), std::logic_error);
+  EXPECT_THROW(ch.try_recv(2, 0), std::logic_error);
+  EXPECT_THROW(MsgChannel(0), std::logic_error);
+}
+
+TEST(MsgChannel, ConcurrentPingPong) {
+  MsgChannel ch(2);
+  constexpr std::uint64_t kRounds = 5000;
+  std::uint64_t echo_sum = 0;
+  std::thread peer([&ch] {
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      const auto v = ch.recv_value<std::uint64_t>(1, 0);
+      ch.send_value(1, 0, v + 1);
+    }
+  });
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    ch.send_value(0, 1, i);
+    echo_sum += ch.recv_value<std::uint64_t>(0, 1);
+  }
+  peer.join();
+  EXPECT_EQ(echo_sum, kRounds * (kRounds - 1) / 2 + kRounds);
+}
+
+TEST(MsgChannel, ConcurrentManyToOne) {
+  constexpr unsigned kSenders = 4;
+  constexpr std::uint64_t kEach = 2000;
+  MsgChannel ch(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (unsigned s = 1; s <= kSenders; ++s) {
+    senders.emplace_back([&ch, s] {
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        ch.send_value<std::uint64_t>(s, 0, s * 1000000 + i);
+      }
+    });
+  }
+  std::uint64_t received = 0;
+  std::uint64_t sum = 0;
+  while (received < kSenders * kEach) {
+    for (unsigned s = 1; s <= kSenders; ++s) {
+      if (auto msg = ch.try_recv(0, s)) {
+        std::uint64_t v;
+        std::memcpy(&v, msg->data(), sizeof(v));
+        sum += v;
+        ++received;
+      }
+    }
+  }
+  for (std::thread& t : senders) t.join();
+  std::uint64_t expect = 0;
+  for (unsigned s = 1; s <= kSenders; ++s) {
+    expect += kEach * (s * 1000000) + kEach * (kEach - 1) / 2;
+  }
+  EXPECT_EQ(sum, expect);
+}
+
+}  // namespace
+}  // namespace lpomp::dsm

@@ -1,0 +1,164 @@
+// Unit tests for the x86-64-style radix page table.
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hpp"
+
+namespace lpomp::mem {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PhysMem pm_{MiB(32)};
+};
+
+TEST_F(PageTableTest, MapAndWalkSmallPage) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0x20'0000, PageKind::small4k);
+  const WalkResult w = pt.walk(0x1000'0ABC);
+  EXPECT_TRUE(w.present);
+  EXPECT_EQ(w.kind, PageKind::small4k);
+  EXPECT_EQ(w.paddr, 0x20'0ABCu);
+  EXPECT_EQ(w.levels_touched, 4u);  // PML4 → PDPT → PD → PT
+}
+
+TEST_F(PageTableTest, MapAndWalkHugePage) {
+  PageTable pt(pm_);
+  pt.map(0x4000'0000, 0x80'0000, PageKind::large2m);
+  const WalkResult w = pt.walk(0x4012'3456);
+  EXPECT_TRUE(w.present);
+  EXPECT_EQ(w.kind, PageKind::large2m);
+  EXPECT_EQ(w.paddr, 0x80'0000u + 0x12'3456u);
+  EXPECT_EQ(w.levels_touched, 3u);  // huge leaf one level up
+}
+
+TEST_F(PageTableTest, WalkFaultsOnUnmapped) {
+  PageTable pt(pm_);
+  const WalkResult w = pt.walk(0xdead'0000);
+  EXPECT_FALSE(w.present);
+  EXPECT_EQ(w.levels_touched, 1u);  // root entry absent
+}
+
+TEST_F(PageTableTest, WalkFaultsAtIntermediateDepth) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0, PageKind::small4k);
+  // Same PD as the mapping above but different PT slot: walk reaches the
+  // bottom level before faulting.
+  const WalkResult w = pt.walk(0x1000'0000 + 5 * kSmallPageSize);
+  EXPECT_FALSE(w.present);
+  EXPECT_EQ(w.levels_touched, 4u);
+}
+
+TEST_F(PageTableTest, EntryAddressesReported) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0x20'0000, PageKind::small4k);
+  const WalkResult w = pt.walk(0x1000'0000);
+  for (unsigned l = 1; l < w.levels_touched; ++l) {
+    EXPECT_NE(w.entry_addr[l], w.entry_addr[l - 1]);
+  }
+  // Entries are 8-byte slots inside 4 KB table frames.
+  for (unsigned l = 0; l < w.levels_touched; ++l) {
+    EXPECT_EQ(w.entry_addr[l] % 8, 0u);
+  }
+}
+
+TEST_F(PageTableTest, AdjacentPagesShareBottomTableFrame) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0, PageKind::small4k);
+  pt.map(0x1000'1000, kSmallPageSize, PageKind::small4k);
+  const WalkResult a = pt.walk(0x1000'0000);
+  const WalkResult b = pt.walk(0x1000'1000);
+  // Same PT frame, consecutive 8-byte entries.
+  EXPECT_EQ(b.entry_addr[3], a.entry_addr[3] + 8);
+}
+
+TEST_F(PageTableTest, UnmapRemovesTranslation) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0, PageKind::small4k);
+  EXPECT_TRUE(pt.unmap(0x1000'0000));
+  EXPECT_FALSE(pt.walk(0x1000'0000).present);
+  EXPECT_FALSE(pt.unmap(0x1000'0000));
+}
+
+TEST_F(PageTableTest, RemapIsError) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0, PageKind::small4k);
+  EXPECT_THROW(pt.map(0x1000'0000, kSmallPageSize, PageKind::small4k),
+               std::logic_error);
+}
+
+TEST_F(PageTableTest, MisalignedMapIsError) {
+  PageTable pt(pm_);
+  EXPECT_THROW(pt.map(0x1000'0800, 0, PageKind::small4k), std::logic_error);
+  EXPECT_THROW(pt.map(0x10'0000, 0, PageKind::large2m), std::logic_error);
+}
+
+TEST_F(PageTableTest, SmallUnderHugeLeafIsError) {
+  PageTable pt(pm_);
+  pt.map(0x4000'0000, 0, PageKind::large2m);
+  EXPECT_THROW(pt.map(0x4000'0000, 0, PageKind::small4k), std::logic_error);
+  EXPECT_THROW(pt.map(0x4000'1000, kSmallPageSize, PageKind::small4k),
+               std::logic_error);
+}
+
+TEST_F(PageTableTest, MappedPageCounters) {
+  PageTable pt(pm_);
+  pt.map(0x1000'0000, 0, PageKind::small4k);
+  pt.map(0x4000'0000, 0, PageKind::large2m);
+  EXPECT_EQ(pt.mapped_pages(PageKind::small4k), 1u);
+  EXPECT_EQ(pt.mapped_pages(PageKind::large2m), 1u);
+  pt.unmap(0x4000'0000);
+  EXPECT_EQ(pt.mapped_pages(PageKind::large2m), 0u);
+}
+
+TEST_F(PageTableTest, NodeAccountingGrowsWithSpread) {
+  PageTable pt(pm_);
+  const std::size_t base_nodes = pt.node_count();
+  EXPECT_EQ(base_nodes, 1u);  // just the root
+  pt.map(0, 0, PageKind::small4k);
+  EXPECT_EQ(pt.node_count(), 4u);  // root + 3 interior/leaf tables
+  // A second page far away in the address space needs its own subtree.
+  pt.map(vaddr_t{1} << 40, kSmallPageSize, PageKind::small4k);
+  EXPECT_EQ(pt.node_count(), 7u);
+  EXPECT_EQ(pt.overhead_bytes(), 7 * kSmallPageSize);
+}
+
+TEST_F(PageTableTest, TableFramesComeFromPhysMem) {
+  const std::size_t before = pm_.free_bytes();
+  {
+    PageTable pt(pm_);
+    pt.map(0, 0x1000, PageKind::small4k);
+    EXPECT_LT(pm_.free_bytes(), before);
+  }
+  // Destructor returns every node frame.
+  EXPECT_EQ(pm_.free_bytes(), before);
+}
+
+TEST_F(PageTableTest, ManyMappingsRoundTrip) {
+  PageTable pt(pm_);
+  constexpr unsigned kPages = 1024;
+  for (unsigned i = 0; i < kPages; ++i) {
+    pt.map(0x2000'0000 + static_cast<vaddr_t>(i) * kSmallPageSize,
+           static_cast<paddr_t>(i) * kSmallPageSize, PageKind::small4k);
+  }
+  for (unsigned i = 0; i < kPages; ++i) {
+    const vaddr_t va =
+        0x2000'0000 + static_cast<vaddr_t>(i) * kSmallPageSize + 123;
+    const WalkResult w = pt.walk(va);
+    ASSERT_TRUE(w.present);
+    EXPECT_EQ(w.paddr, static_cast<paddr_t>(i) * kSmallPageSize + 123);
+  }
+  EXPECT_EQ(pt.mapped_pages(PageKind::small4k), kPages);
+}
+
+TEST_F(PageTableTest, MixedKindsCoexist) {
+  PageTable pt(pm_);
+  pt.map(0x4000'0000, 0, PageKind::large2m);
+  pt.map(0x4020'0000, MiB(4), PageKind::small4k);  // next 2 MB slot
+  EXPECT_TRUE(pt.walk(0x4000'0000).present);
+  EXPECT_TRUE(pt.walk(0x4020'0000).present);
+  EXPECT_EQ(pt.walk(0x4000'0000).kind, PageKind::large2m);
+  EXPECT_EQ(pt.walk(0x4020'0000).kind, PageKind::small4k);
+}
+
+}  // namespace
+}  // namespace lpomp::mem

@@ -1,0 +1,184 @@
+// Unit and property tests for the loop-scheduling primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_for.hpp"
+
+namespace lpomp::core {
+namespace {
+
+TEST(StaticPartition, SplitsEvenly) {
+  const StaticRange r0 = static_partition(0, 100, 0, 4);
+  const StaticRange r3 = static_partition(0, 100, 3, 4);
+  EXPECT_EQ(r0.begin, 0);
+  EXPECT_EQ(r0.size(), 25);
+  EXPECT_EQ(r3.end, 100);
+}
+
+TEST(StaticPartition, RemainderGoesToLowTids) {
+  // 10 iterations, 4 threads: 3,3,2,2.
+  EXPECT_EQ(static_partition(0, 10, 0, 4).size(), 3);
+  EXPECT_EQ(static_partition(0, 10, 1, 4).size(), 3);
+  EXPECT_EQ(static_partition(0, 10, 2, 4).size(), 2);
+  EXPECT_EQ(static_partition(0, 10, 3, 4).size(), 2);
+}
+
+TEST(StaticPartition, EmptyRangeAndMoreThreadsThanWork) {
+  EXPECT_EQ(static_partition(5, 5, 0, 4).size(), 0);
+  EXPECT_EQ(static_partition(0, 2, 3, 4).size(), 0);
+  EXPECT_EQ(static_partition(0, 2, 0, 4).size(), 1);
+}
+
+TEST(StaticPartition, NonZeroFirst) {
+  const StaticRange r = static_partition(10, 20, 1, 2);
+  EXPECT_EQ(r.begin, 15);
+  EXPECT_EQ(r.end, 20);
+}
+
+struct PartitionCase {
+  index_t first, last;
+  unsigned threads;
+};
+
+class PartitionProperty : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionProperty, CoversRangeExactlyOnce) {
+  const auto [first, last, threads] = GetParam();
+  std::vector<int> hits(static_cast<std::size_t>(last - first), 0);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    const StaticRange r = static_partition(first, last, tid, threads);
+    EXPECT_LE(r.begin, r.end);
+    for (index_t i = r.begin; i < r.end; ++i) {
+      ++hits[static_cast<std::size_t>(i - first)];
+    }
+    // Balance: no thread more than one iteration above the average.
+    EXPECT_LE(r.size(), (last - first) / threads + 1);
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionProperty,
+    ::testing::Values(PartitionCase{0, 100, 1}, PartitionCase{0, 100, 3},
+                      PartitionCase{0, 7, 8}, PartitionCase{0, 8, 8},
+                      PartitionCase{-50, 50, 4}, PartitionCase{3, 1000, 7},
+                      PartitionCase{0, 1, 1}, PartitionCase{0, 65536, 6}));
+
+TEST(ForStatic, VisitsOwnRange) {
+  std::vector<index_t> seen;
+  for_static(0, 10, 1, 3, [&seen](index_t i) { seen.push_back(i); });
+  // Thread 1 of 3 over [0,10): 4,3,3 → [4,7).
+  EXPECT_EQ(seen, (std::vector<index_t>{4, 5, 6}));
+}
+
+TEST(ForStaticCyclic, RoundRobinChunks) {
+  std::vector<index_t> seen;
+  for_static_cyclic(0, 10, 2, 0, 2, [&seen](index_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<index_t>{0, 1, 4, 5, 8, 9}));
+  seen.clear();
+  for_static_cyclic(0, 10, 2, 1, 2, [&seen](index_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<index_t>{2, 3, 6, 7}));
+}
+
+TEST(ForStaticCyclic, AllThreadsCoverEverything) {
+  std::vector<int> hits(100, 0);
+  for (unsigned tid = 0; tid < 3; ++tid) {
+    for_static_cyclic(0, 100, 7, tid, 3,
+                      [&hits](index_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(LoopCursor, GrabsDisjointChunks) {
+  LoopCursor cursor;
+  cursor.reset(0, 10);
+  const StaticRange a = cursor.grab(4);
+  const StaticRange b = cursor.grab(4);
+  const StaticRange c = cursor.grab(4);
+  const StaticRange d = cursor.grab(4);
+  EXPECT_EQ(a.begin, 0);
+  EXPECT_EQ(a.end, 4);
+  EXPECT_EQ(b.end, 8);
+  EXPECT_EQ(c.end, 10);  // clamped
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(ForDynamic, SingleThreadCoversAll) {
+  LoopCursor cursor;
+  cursor.reset(0, 57);
+  std::vector<int> hits(57, 0);
+  for_dynamic(cursor, 5, [&hits](index_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ForDynamic, ConcurrentThreadsPartitionExactly) {
+  constexpr index_t kN = 100000;
+  LoopCursor cursor;
+  cursor.reset(0, kN);
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for_dynamic(cursor, 7,
+                  [&hits](index_t i) { hits[static_cast<std::size_t>(i)]++; });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForGuided, ChunksShrinkAndCoverAll) {
+  LoopCursor cursor;
+  cursor.reset(0, 1000);
+  std::vector<index_t> chunk_sizes;
+  while (true) {
+    const StaticRange r = cursor.grab_guided(4, 3);
+    if (r.size() == 0) break;
+    chunk_sizes.push_back(r.size());
+  }
+  // First chunk ≈ 1000/8, shrinking down to the minimum.
+  EXPECT_EQ(chunk_sizes.front(), 125);
+  EXPECT_GE(chunk_sizes.front(), chunk_sizes.back());
+  EXPECT_EQ(chunk_sizes.back(), 3);
+  index_t total = 0;
+  for (index_t c : chunk_sizes) total += c;
+  EXPECT_GE(total, 1000);
+}
+
+TEST(ForGuided, ConcurrentCoverage) {
+  constexpr index_t kN = 50000;
+  LoopCursor cursor;
+  cursor.reset(0, kN);
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for_guided(cursor, 4, 8,
+                 [&hits](index_t i) { hits[static_cast<std::size_t>(i)]++; });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(LoopCursor, ResetAllowsReuse) {
+  LoopCursor cursor;
+  cursor.reset(0, 4);
+  cursor.grab(10);
+  cursor.reset(100, 104);
+  const StaticRange r = cursor.grab(10);
+  EXPECT_EQ(r.begin, 100);
+  EXPECT_EQ(r.end, 104);
+  EXPECT_EQ(cursor.first(), 100);
+  EXPECT_EQ(cursor.last(), 104);
+}
+
+}  // namespace
+}  // namespace lpomp::core

@@ -1,0 +1,172 @@
+// Unit and property tests for the buddy physical-frame allocator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "support/rng.hpp"
+
+namespace lpomp::mem {
+namespace {
+
+TEST(PhysMem, InitialStateAllFree) {
+  PhysMem pm(MiB(16));
+  EXPECT_EQ(pm.total_bytes(), MiB(16));
+  EXPECT_EQ(pm.free_bytes(), MiB(16));
+  EXPECT_EQ(pm.largest_free_order(), PhysMem::kMaxOrder);
+  EXPECT_EQ(pm.free_blocks(PhysMem::kMaxOrder), MiB(16) / MiB(4));
+}
+
+TEST(PhysMem, RejectsNonMultipleSize) {
+  EXPECT_THROW(PhysMem pm(MiB(3)), std::logic_error);
+  EXPECT_THROW(PhysMem pm(0), std::logic_error);
+}
+
+TEST(PhysMem, SmallFrameAllocAligned) {
+  PhysMem pm(MiB(8));
+  auto f = pm.alloc_small_frame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f % kSmallPageSize, 0u);
+  EXPECT_EQ(pm.free_bytes(), MiB(8) - kSmallPageSize);
+}
+
+TEST(PhysMem, HugeFrameAllocAligned) {
+  PhysMem pm(MiB(8));
+  auto f = pm.alloc_huge_frame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f % kLargePageSize, 0u);
+  EXPECT_EQ(pm.free_bytes(), MiB(8) - kLargePageSize);
+}
+
+TEST(PhysMem, LowestAddressFirst) {
+  PhysMem pm(MiB(8));
+  auto a = pm.alloc_small_frame();
+  auto b = pm.alloc_small_frame();
+  ASSERT_TRUE(a && b);
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(*a, 0u);
+}
+
+TEST(PhysMem, FreeCoalescesBackToMaxOrder) {
+  PhysMem pm(MiB(4));
+  std::vector<paddr_t> frames;
+  while (auto f = pm.alloc_small_frame()) frames.push_back(*f);
+  EXPECT_EQ(pm.free_bytes(), 0u);
+  EXPECT_FALSE(pm.largest_free_order().has_value());
+  for (paddr_t f : frames) pm.return_block(f, 0);
+  EXPECT_EQ(pm.free_bytes(), MiB(4));
+  EXPECT_EQ(pm.largest_free_order(), PhysMem::kMaxOrder);
+  EXPECT_EQ(pm.free_blocks(PhysMem::kMaxOrder), 1u);
+}
+
+TEST(PhysMem, FragmentationBlocksHugeAllocation) {
+  PhysMem pm(MiB(4));
+  // Take every 4 KB frame, free all but one frame in each 2 MB half.
+  std::vector<paddr_t> frames;
+  while (auto f = pm.alloc_small_frame()) frames.push_back(*f);
+  for (paddr_t f : frames) {
+    if (f != 0 && f != kLargePageSize) pm.return_block(f, 0);
+  }
+  // Almost all memory is free, but no aligned 2 MB run exists.
+  EXPECT_GT(pm.free_bytes(), MiB(4) - 2 * kSmallPageSize - 1);
+  pm.reset_stats();
+  EXPECT_FALSE(pm.alloc_huge_frame().has_value());
+  EXPECT_EQ(pm.stats().failed_allocs, 1u);
+  pm.return_block(0, 0);
+  pm.return_block(kLargePageSize, 0);
+  EXPECT_TRUE(pm.alloc_huge_frame().has_value());
+}
+
+TEST(PhysMem, ExhaustionReturnsNullopt) {
+  PhysMem pm(MiB(4));
+  auto a = pm.take_block(PhysMem::kMaxOrder);
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(pm.take_block(0).has_value());
+}
+
+TEST(PhysMem, DoubleFreeDetected) {
+  PhysMem pm(MiB(4));
+  auto f = pm.alloc_small_frame();
+  pm.return_block(*f, 0);
+  EXPECT_THROW(pm.return_block(*f, 0), std::logic_error);
+}
+
+TEST(PhysMem, MisalignedFreeDetected) {
+  PhysMem pm(MiB(4));
+  EXPECT_THROW(pm.return_block(kSmallPageSize / 2, 0), std::logic_error);
+  EXPECT_THROW(pm.return_block(kSmallPageSize, PhysMem::kHugeOrder),
+               std::logic_error);
+}
+
+TEST(PhysMem, OutOfRangeFreeDetected) {
+  PhysMem pm(MiB(4));
+  EXPECT_THROW(pm.return_block(MiB(4), 0), std::logic_error);
+}
+
+TEST(PhysMem, StatsCountWork) {
+  PhysMem pm(MiB(4));
+  pm.reset_stats();
+  auto f = pm.alloc_small_frame();  // splits 4MB down to 4KB: 10 splits
+  EXPECT_EQ(pm.stats().allocs, 1u);
+  EXPECT_EQ(pm.stats().splits, 10u);
+  EXPECT_GT(pm.stats().last_alloc_work, 0u);
+  pm.return_block(*f, 0);
+  EXPECT_EQ(pm.stats().frees, 1u);
+  EXPECT_EQ(pm.stats().coalesces, 10u);
+}
+
+TEST(PhysMem, DisjointBlocks) {
+  PhysMem pm(MiB(16));
+  std::vector<std::pair<paddr_t, std::size_t>> blocks;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t order = rng.next_below(4);
+    if (auto b = pm.take_block(order)) blocks.emplace_back(*b, order);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    const auto [prev_addr, prev_order] = blocks[i - 1];
+    EXPECT_GE(blocks[i].first, prev_addr + (kSmallPageSize << prev_order));
+  }
+  for (auto [addr, order] : blocks) pm.return_block(addr, order);
+  EXPECT_EQ(pm.free_bytes(), MiB(16));
+}
+
+// Property sweep: random alloc/free sequences conserve bytes and always
+// coalesce back to a pristine allocator.
+class PhysMemProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhysMemProperty, RandomSequenceConservesMemory) {
+  PhysMem pm(MiB(32));
+  Rng rng(GetParam());
+  std::vector<std::pair<paddr_t, std::size_t>> live;
+  std::size_t live_bytes = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.next_below(2) == 0) {
+      const std::size_t order = rng.next_below(PhysMem::kMaxOrder + 1);
+      if (auto b = pm.take_block(order)) {
+        live.emplace_back(*b, order);
+        live_bytes += kSmallPageSize << order;
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      auto [addr, order] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      pm.return_block(addr, order);
+      live_bytes -= kSmallPageSize << order;
+    }
+    ASSERT_EQ(pm.free_bytes() + live_bytes, MiB(32));
+  }
+  for (auto [addr, order] : live) pm.return_block(addr, order);
+  EXPECT_EQ(pm.free_bytes(), MiB(32));
+  EXPECT_EQ(pm.free_blocks(PhysMem::kMaxOrder), MiB(32) / MiB(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysMemProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lpomp::mem

@@ -1,0 +1,57 @@
+// The ProcessorSpec values ARE the paper's Table 1 — these tests pin them.
+#include <gtest/gtest.h>
+
+#include "sim/processor_spec.hpp"
+
+namespace lpomp::sim {
+namespace {
+
+TEST(ProcessorSpec, OpteronTable1Values) {
+  const ProcessorSpec o = ProcessorSpec::opteron270();
+  EXPECT_EQ(o.l1_dtlb.small4k.entries, 32u);  // §3.2: 32 entries for 4KB
+  EXPECT_EQ(o.l1_dtlb.large2m.entries, 8u);   // §3.2: 8 entries for 2MB
+  ASSERT_TRUE(o.l2_dtlb.has_value());
+  EXPECT_EQ(o.l2_dtlb->small4k.entries, 512u);
+  EXPECT_FALSE(o.l2_dtlb->large2m.present());  // no 2MB entries in L2
+  EXPECT_EQ(o.total_cores(), 4u);              // dual dual-core
+  EXPECT_EQ(o.smt_per_core, 1u);               // no hyper-threading
+  EXPECT_FALSE(o.smt_flush_on_switch);
+  EXPECT_FALSE(o.l2_shared_per_chip);          // private 1MB L2 per core
+  EXPECT_EQ(o.l2.size_bytes, MiB(1));
+}
+
+TEST(ProcessorSpec, XeonTable1Values) {
+  const ProcessorSpec x = ProcessorSpec::xeon_ht();
+  EXPECT_EQ(x.l1_dtlb.small4k.entries, 128u);  // §3.2: 128 entries for 4KB
+  EXPECT_EQ(x.l1_dtlb.large2m.entries, 32u);   // §3.2: 32 entries for 2MB
+  EXPECT_FALSE(x.l2_dtlb.has_value());         // single-level DTLB
+  EXPECT_EQ(x.total_cores(), 4u);
+  EXPECT_EQ(x.smt_per_core, 2u);   // hyper-threading: up to 8 threads
+  EXPECT_EQ(x.max_threads(), 8u);
+  EXPECT_TRUE(x.smt_flush_on_switch);  // pipeline flush on context switch
+  EXPECT_TRUE(x.l2_shared_per_chip);   // cores share the chip L2
+}
+
+TEST(ProcessorSpec, Table1CoverageRows) {
+  // Table 1's coverage rows: Xeon 512KB (4KB) / 64MB (2MB);
+  // Opteron 2MB via the 512-entry L2 / 16MB via the 8-entry 2MB bank.
+  const ProcessorSpec x = ProcessorSpec::xeon_ht();
+  EXPECT_EQ(x.dtlb_coverage(PageKind::small4k), KiB(512));
+  EXPECT_EQ(x.dtlb_coverage(PageKind::large2m), MiB(64));
+  const ProcessorSpec o = ProcessorSpec::opteron270();
+  EXPECT_EQ(o.dtlb_coverage(PageKind::small4k), MiB(2));
+  EXPECT_EQ(o.dtlb_coverage(PageKind::large2m), MiB(16));
+}
+
+TEST(ProcessorSpec, BothPlatformsClockAt2GHz) {
+  EXPECT_DOUBLE_EQ(ProcessorSpec::opteron270().clock_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(ProcessorSpec::xeon_ht().clock_ghz, 2.0);
+}
+
+TEST(ProcessorSpec, ContextCounts) {
+  EXPECT_EQ(ProcessorSpec::opteron270().total_contexts(), 4u);
+  EXPECT_EQ(ProcessorSpec::xeon_ht().total_contexts(), 8u);
+}
+
+}  // namespace
+}  // namespace lpomp::sim

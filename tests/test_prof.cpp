@@ -1,0 +1,86 @@
+// Unit tests for the OProfile-style reporting layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "prof/profile.hpp"
+
+namespace lpomp::prof {
+namespace {
+
+class ProfTest : public ::testing::Test {
+ protected:
+  ProfTest() : pm_(MiB(64)), space_(pm_) {
+    data_ = space_.map_region(MiB(8), PageKind::small4k, "data");
+  }
+
+  mem::PhysMem pm_;
+  mem::AddressSpace space_;
+  mem::Region data_;
+};
+
+TEST_F(ProfTest, CountsMatchMachineTotals) {
+  sim::Machine m(sim::ProcessorSpec::opteron270(), sim::CostModel{}, space_,
+                 2);
+  m.begin_parallel();
+  for (int i = 0; i < 100; ++i) {
+    m.thread(0).touch(data_.base + static_cast<vaddr_t>(i) * 4096,
+                      PageKind::small4k, Access::load);
+    m.thread(1).touch(data_.base + static_cast<vaddr_t>(i) * 8,
+                      PageKind::small4k, Access::store);
+  }
+  m.end_parallel();
+  m.end_run();
+
+  const ProfileReport report = ProfileReport::from_machine(m, "unit");
+  const sim::ThreadCounters totals = m.totals();
+  EXPECT_EQ(report.count(ProfileReport::kAccesses), totals.accesses);
+  EXPECT_EQ(report.count(ProfileReport::kDtlbWalk), totals.dtlb_walk_total());
+  EXPECT_EQ(report.count(ProfileReport::kDtlbWalk4k), totals.dtlb_walks[0]);
+  EXPECT_EQ(report.count(ProfileReport::kL2Miss), totals.l2d_misses);
+  EXPECT_EQ(report.count(ProfileReport::kCycles), m.total_cycles());
+  EXPECT_EQ(report.label(), "unit");
+}
+
+TEST_F(ProfTest, RatesArePerSimulatedSecond) {
+  sim::Machine m(sim::ProcessorSpec::opteron270(), sim::CostModel{}, space_,
+                 1);
+  m.thread(0).add_compute(1'000'000'000ull);  // 0.5 s at 2 GHz
+  m.thread(0).touch(data_.base, PageKind::small4k, Access::load);
+  m.end_run();
+  const ProfileReport report = ProfileReport::from_machine(m);
+  EXPECT_NEAR(report.run_seconds(), 0.5, 1e-3);
+  EXPECT_NEAR(report.rate(ProfileReport::kAccesses),
+              1.0 / report.run_seconds(), 1e-6);
+}
+
+TEST_F(ProfTest, UnknownEventIsZero) {
+  sim::Machine m(sim::ProcessorSpec::opteron270(), sim::CostModel{}, space_,
+                 1);
+  m.end_run();
+  const ProfileReport report = ProfileReport::from_machine(m);
+  EXPECT_EQ(report.count("NOT_AN_EVENT"), 0u);
+  EXPECT_EQ(report.rate("NOT_AN_EVENT"), 0.0);
+}
+
+TEST_F(ProfTest, PrintContainsEventNames) {
+  sim::Machine m(sim::ProcessorSpec::opteron270(), sim::CostModel{}, space_,
+                 1);
+  m.end_run();
+  std::ostringstream os;
+  ProfileReport::from_machine(m, "printer").print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("printer"), std::string::npos);
+  EXPECT_NE(out.find(ProfileReport::kDtlbWalk), std::string::npos);
+  EXPECT_NE(out.find(ProfileReport::kItlbMiss), std::string::npos);
+  EXPECT_NE(out.find(ProfileReport::kCycles), std::string::npos);
+}
+
+TEST_F(ProfTest, DefaultConstructedReportIsEmpty) {
+  ProfileReport report;
+  EXPECT_TRUE(report.events().empty());
+  EXPECT_EQ(report.count(ProfileReport::kCycles), 0u);
+}
+
+}  // namespace
+}  // namespace lpomp::prof

@@ -1,0 +1,173 @@
+// Tests for in-place superpage promotion (AddressSpace::promote) and the
+// transparent promotion policy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/promotion.hpp"
+#include "sim/machine.hpp"
+
+namespace lpomp::mem {
+namespace {
+
+namespace sim = ::lpomp::sim;
+
+class PromotionTest : public ::testing::Test {
+ protected:
+  PhysMem pm_{MiB(64)};
+  AddressSpace space_{pm_};
+};
+
+TEST_F(PromotionTest, PromoteSwapsMappingInPlace) {
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  EXPECT_EQ(space_.kind_at(r.base), PageKind::small4k);
+  EXPECT_EQ(space_.translate(r.base).levels_touched, 4u);
+
+  ASSERT_TRUE(space_.promote(r.base));
+  EXPECT_EQ(space_.kind_at(r.base), PageKind::large2m);
+  EXPECT_EQ(space_.kind_at(r.base + MiB(1)), PageKind::large2m);
+  EXPECT_EQ(space_.kind_at(r.base + MiB(2)), PageKind::small4k);
+  EXPECT_EQ(space_.translate(r.base + 12345).kind, PageKind::large2m);
+  EXPECT_EQ(space_.translate(r.base + 12345).levels_touched, 3u);
+  EXPECT_EQ(space_.promotions(), 1u);
+}
+
+TEST_F(PromotionTest, PromotionMovesMappedByteAccounting) {
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  EXPECT_EQ(space_.mapped_bytes(PageKind::small4k), MiB(4));
+  ASSERT_TRUE(space_.promote(r.base + MiB(2)));
+  EXPECT_EQ(space_.mapped_bytes(PageKind::small4k), MiB(2));
+  EXPECT_EQ(space_.mapped_bytes(PageKind::large2m), MiB(2));
+  EXPECT_EQ(space_.mapped_bytes(), MiB(4));
+}
+
+TEST_F(PromotionTest, UnmapAfterPromotionReturnsEverything) {
+  const std::size_t invariant =
+      pm_.free_bytes() + space_.page_table().overhead_bytes();
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  ASSERT_TRUE(space_.promote(r.base));
+  space_.unmap_region(r.base);
+  EXPECT_EQ(pm_.free_bytes() + space_.page_table().overhead_bytes(),
+            invariant);
+  EXPECT_EQ(space_.mapped_bytes(), 0u);
+}
+
+TEST_F(PromotionTest, DoublePromotionRejected) {
+  const Region r = space_.map_region(MiB(2), PageKind::small4k, "data");
+  ASSERT_TRUE(space_.promote(r.base));
+  EXPECT_THROW(space_.promote(r.base), std::logic_error);  // not 4KB-mapped
+}
+
+TEST_F(PromotionTest, MisalignedChunkRejected) {
+  const Region r = space_.map_region(MiB(2), PageKind::small4k, "data");
+  EXPECT_THROW(space_.promote(r.base + kSmallPageSize), std::logic_error);
+}
+
+TEST_F(PromotionTest, PromotionFailsUnderFragmentation) {
+  // Pin one frame per 2 MB physical slot so no aligned huge block exists.
+  std::vector<paddr_t> all;
+  while (auto f = pm_.alloc_small_frame()) all.push_back(*f);
+  std::vector<paddr_t> pins;
+  for (paddr_t f : all) {
+    if (f % kLargePageSize == 0) {
+      pins.push_back(f);  // one pinned frame per 2 MB slot: no huge block
+    } else {
+      pm_.return_block(f, 0);
+    }
+  }
+  const Region r = space_.map_region(MiB(2), PageKind::small4k, "data");
+  EXPECT_FALSE(space_.promote(r.base));
+  EXPECT_EQ(space_.kind_at(r.base), PageKind::small4k);  // mapping untouched
+  EXPECT_TRUE(space_.translate(r.base + MiB(1)).present);
+  for (paddr_t p : pins) pm_.return_block(p, 0);
+}
+
+TEST_F(PromotionTest, PromoterPromotesAtThreshold) {
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  SuperpagePromoter::Config cfg;
+  cfg.touch_threshold = 10;
+  SuperpagePromoter promoter(space_, r, cfg);
+  EXPECT_EQ(promoter.promotable_chunks(), 2u);
+
+  cycles_t promo = 0;
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(promoter.on_touch(r.base + static_cast<vaddr_t>(i) * 8192), 0u);
+  }
+  EXPECT_EQ(promoter.kind_at(r.base), PageKind::small4k);
+  promo = promoter.on_touch(r.base);
+  EXPECT_EQ(promo, cfg.copy_cycles + cfg.shootdown_cycles);
+  EXPECT_EQ(promoter.kind_at(r.base), PageKind::large2m);
+  EXPECT_EQ(promoter.kind_at(r.base + MiB(2)), PageKind::small4k);
+  EXPECT_EQ(promoter.stats().promotions, 1u);
+  // Further touches of the promoted chunk are free.
+  EXPECT_EQ(promoter.on_touch(r.base + 64), 0u);
+}
+
+TEST_F(PromotionTest, PromoterCountsPerChunkIndependently) {
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  SuperpagePromoter::Config cfg;
+  cfg.touch_threshold = 3;
+  SuperpagePromoter promoter(space_, r, cfg);
+  // Interleave touches: chunk 1 reaches its threshold first.
+  promoter.on_touch(r.base);
+  promoter.on_touch(r.base + MiB(2));
+  promoter.on_touch(r.base + MiB(2) + 8);
+  EXPECT_GT(promoter.on_touch(r.base + MiB(2) + 16), 0u);
+  EXPECT_EQ(promoter.kind_at(r.base), PageKind::small4k);
+  EXPECT_EQ(promoter.kind_at(r.base + MiB(2)), PageKind::large2m);
+}
+
+TEST_F(PromotionTest, PromoterDoesNotRetryFailedChunks) {
+  std::vector<paddr_t> all;
+  while (auto f = pm_.alloc_small_frame()) all.push_back(*f);
+  std::vector<paddr_t> pins;
+  for (paddr_t f : all) {
+    if (f % kLargePageSize == 0) {
+      pins.push_back(f);  // one pinned frame per 2 MB slot: no huge block
+    } else {
+      pm_.return_block(f, 0);
+    }
+  }
+  const Region r = space_.map_region(MiB(2), PageKind::small4k, "data");
+  SuperpagePromoter::Config cfg;
+  cfg.touch_threshold = 2;
+  SuperpagePromoter promoter(space_, r, cfg);
+  promoter.on_touch(r.base);
+  EXPECT_EQ(promoter.on_touch(r.base), 0u);  // attempt fails
+  EXPECT_EQ(promoter.stats().failed_promotions, 1u);
+  for (int i = 0; i < 10; ++i) promoter.on_touch(r.base);
+  EXPECT_EQ(promoter.stats().failed_promotions, 1u);  // no retry storm
+  for (paddr_t p : pins) pm_.return_block(p, 0);
+}
+
+TEST_F(PromotionTest, MisalignedRegionOnlyPromotesInteriorChunks) {
+  // A 4 KB-page region never starts 2 MB-aligned in the small arena unless
+  // by luck; the promoter must only consider whole chunks inside it.
+  const Region pad = space_.map_region(kSmallPageSize, PageKind::small4k, "p");
+  (void)pad;
+  const Region r = space_.map_region(MiB(4), PageKind::small4k, "data");
+  SuperpagePromoter promoter(space_, r, {});
+  EXPECT_LE(promoter.promotable_chunks(), MiB(4) / kLargePageSize);
+  // Touches outside any whole chunk are counted but never promote.
+  promoter.on_touch(r.base);
+  SUCCEED();
+}
+
+TEST_F(PromotionTest, ThreadSimSeesPromotedKind) {
+  // End-to-end: walks agree with the promoter's view after promotion.
+  const Region r = space_.map_region(MiB(2), PageKind::small4k, "data");
+  sim::CostModel cm;
+  sim::Machine machine(sim::ProcessorSpec::opteron270(), cm, space_, 1);
+  machine.begin_parallel();
+  sim::ThreadSim& t = machine.thread(0);
+  t.touch(r.base, PageKind::small4k, Access::load);
+  ASSERT_TRUE(space_.promote(r.base));
+  t.tlbs().flush_all();  // the shootdown
+  t.touch(r.base, PageKind::large2m, Access::load);
+  machine.end_parallel();
+  EXPECT_EQ(machine.totals().dtlb_walks[0], 1u);
+  EXPECT_EQ(machine.totals().dtlb_walks[1], 1u);
+}
+
+}  // namespace
+}  // namespace lpomp::mem

