@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_code_pages.dir/ablation_code_pages.cpp.o"
+  "CMakeFiles/ablation_code_pages.dir/ablation_code_pages.cpp.o.d"
+  "ablation_code_pages"
+  "ablation_code_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_code_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixed_pages.dir/ablation_mixed_pages.cpp.o"
+  "CMakeFiles/ablation_mixed_pages.dir/ablation_mixed_pages.cpp.o.d"
+  "ablation_mixed_pages"
+  "ablation_mixed_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixed_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

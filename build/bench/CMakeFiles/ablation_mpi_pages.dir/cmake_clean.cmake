@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpi_pages.dir/ablation_mpi_pages.cpp.o"
+  "CMakeFiles/ablation_mpi_pages.dir/ablation_mpi_pages.cpp.o.d"
+  "ablation_mpi_pages"
+  "ablation_mpi_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpi_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

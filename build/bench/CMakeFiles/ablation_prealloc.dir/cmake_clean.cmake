@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prealloc.dir/ablation_prealloc.cpp.o"
+  "CMakeFiles/ablation_prealloc.dir/ablation_prealloc.cpp.o.d"
+  "ablation_prealloc"
+  "ablation_prealloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prealloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

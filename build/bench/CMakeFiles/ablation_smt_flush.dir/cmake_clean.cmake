@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smt_flush.dir/ablation_smt_flush.cpp.o"
+  "CMakeFiles/ablation_smt_flush.dir/ablation_smt_flush.cpp.o.d"
+  "ablation_smt_flush"
+  "ablation_smt_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smt_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_itlb_misses.dir/fig3_itlb_misses.cpp.o"
+  "CMakeFiles/fig3_itlb_misses.dir/fig3_itlb_misses.cpp.o.d"
+  "fig3_itlb_misses"
+  "fig3_itlb_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_itlb_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dtlb_misses.dir/fig5_dtlb_misses.cpp.o"
+  "CMakeFiles/fig5_dtlb_misses.dir/fig5_dtlb_misses.cpp.o.d"
+  "fig5_dtlb_misses"
+  "fig5_dtlb_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dtlb_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

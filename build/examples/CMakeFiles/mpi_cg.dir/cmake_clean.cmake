@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_cg.dir/mpi_cg.cpp.o"
+  "CMakeFiles/mpi_cg.dir/mpi_cg.cpp.o.d"
+  "mpi_cg"
+  "mpi_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

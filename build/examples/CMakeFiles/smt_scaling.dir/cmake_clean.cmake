@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_scaling.dir/smt_scaling.cpp.o"
+  "CMakeFiles/smt_scaling.dir/smt_scaling.cpp.o.d"
+  "smt_scaling"
+  "smt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

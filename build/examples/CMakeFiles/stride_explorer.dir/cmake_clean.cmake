@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_explorer.dir/stride_explorer.cpp.o"
+  "CMakeFiles/stride_explorer.dir/stride_explorer.cpp.o.d"
+  "stride_explorer"
+  "stride_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_cache.dir/cache.cpp.o"
+  "CMakeFiles/lpomp_cache.dir/cache.cpp.o.d"
+  "liblpomp_cache.a"
+  "liblpomp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/lpomp_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/lpomp_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/barrier.cpp" "src/core/CMakeFiles/lpomp_core.dir/barrier.cpp.o" "gcc" "src/core/CMakeFiles/lpomp_core.dir/barrier.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/lpomp_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/lpomp_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/team.cpp" "src/core/CMakeFiles/lpomp_core.dir/team.cpp.o" "gcc" "src/core/CMakeFiles/lpomp_core.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/lpomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/lpomp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/lpomp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpomp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

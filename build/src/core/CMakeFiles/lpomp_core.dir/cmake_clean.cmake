@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_core.dir/allocator.cpp.o"
+  "CMakeFiles/lpomp_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/lpomp_core.dir/barrier.cpp.o"
+  "CMakeFiles/lpomp_core.dir/barrier.cpp.o.d"
+  "CMakeFiles/lpomp_core.dir/runtime.cpp.o"
+  "CMakeFiles/lpomp_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/lpomp_core.dir/team.cpp.o"
+  "CMakeFiles/lpomp_core.dir/team.cpp.o.d"
+  "liblpomp_core.a"
+  "liblpomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_dsm.dir/erc_protocol.cpp.o"
+  "CMakeFiles/lpomp_dsm.dir/erc_protocol.cpp.o.d"
+  "CMakeFiles/lpomp_dsm.dir/msg_channel.cpp.o"
+  "CMakeFiles/lpomp_dsm.dir/msg_channel.cpp.o.d"
+  "liblpomp_dsm.a"
+  "liblpomp_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

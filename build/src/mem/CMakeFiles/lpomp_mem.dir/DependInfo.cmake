@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/lpomp_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/lpomp_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/hugetlbfs.cpp" "src/mem/CMakeFiles/lpomp_mem.dir/hugetlbfs.cpp.o" "gcc" "src/mem/CMakeFiles/lpomp_mem.dir/hugetlbfs.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/lpomp_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/lpomp_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/phys_mem.cpp" "src/mem/CMakeFiles/lpomp_mem.dir/phys_mem.cpp.o" "gcc" "src/mem/CMakeFiles/lpomp_mem.dir/phys_mem.cpp.o.d"
+  "/root/repo/src/mem/promotion.cpp" "src/mem/CMakeFiles/lpomp_mem.dir/promotion.cpp.o" "gcc" "src/mem/CMakeFiles/lpomp_mem.dir/promotion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_mem.dir/address_space.cpp.o"
+  "CMakeFiles/lpomp_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/lpomp_mem.dir/hugetlbfs.cpp.o"
+  "CMakeFiles/lpomp_mem.dir/hugetlbfs.cpp.o.d"
+  "CMakeFiles/lpomp_mem.dir/page_table.cpp.o"
+  "CMakeFiles/lpomp_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/lpomp_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/lpomp_mem.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/lpomp_mem.dir/promotion.cpp.o"
+  "CMakeFiles/lpomp_mem.dir/promotion.cpp.o.d"
+  "liblpomp_mem.a"
+  "liblpomp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

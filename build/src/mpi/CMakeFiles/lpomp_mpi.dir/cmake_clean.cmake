@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/lpomp_mpi.dir/mpi.cpp.o.d"
+  "liblpomp_mpi.a"
+  "liblpomp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

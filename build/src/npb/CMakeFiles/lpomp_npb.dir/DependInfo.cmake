@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/adi_common.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/adi_common.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/adi_common.cpp.o.d"
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/classes.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/classes.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/classes.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/npb.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/npb.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/npb.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/lpomp_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/lpomp_npb.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/lpomp_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/lpomp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/lpomp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpomp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_npb.dir/adi_common.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/adi_common.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/bt.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/cg.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/classes.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/classes.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/ft.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/mg.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/npb.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/npb.cpp.o.d"
+  "CMakeFiles/lpomp_npb.dir/sp.cpp.o"
+  "CMakeFiles/lpomp_npb.dir/sp.cpp.o.d"
+  "liblpomp_npb.a"
+  "liblpomp_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

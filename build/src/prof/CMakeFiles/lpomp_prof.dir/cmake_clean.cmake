@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_prof.dir/profile.cpp.o"
+  "CMakeFiles/lpomp_prof.dir/profile.cpp.o.d"
+  "liblpomp_prof.a"
+  "liblpomp_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

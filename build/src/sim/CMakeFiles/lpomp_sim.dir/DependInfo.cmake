@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/lpomp_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/lpomp_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/processor_spec.cpp" "src/sim/CMakeFiles/lpomp_sim.dir/processor_spec.cpp.o" "gcc" "src/sim/CMakeFiles/lpomp_sim.dir/processor_spec.cpp.o.d"
+  "/root/repo/src/sim/thread_sim.cpp" "src/sim/CMakeFiles/lpomp_sim.dir/thread_sim.cpp.o" "gcc" "src/sim/CMakeFiles/lpomp_sim.dir/thread_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/lpomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/lpomp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpomp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

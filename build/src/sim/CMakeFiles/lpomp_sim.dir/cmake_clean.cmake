@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_sim.dir/machine.cpp.o"
+  "CMakeFiles/lpomp_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/lpomp_sim.dir/processor_spec.cpp.o"
+  "CMakeFiles/lpomp_sim.dir/processor_spec.cpp.o.d"
+  "CMakeFiles/lpomp_sim.dir/thread_sim.cpp.o"
+  "CMakeFiles/lpomp_sim.dir/thread_sim.cpp.o.d"
+  "liblpomp_sim.a"
+  "liblpomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

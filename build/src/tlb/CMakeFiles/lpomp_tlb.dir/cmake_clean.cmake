@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpomp_tlb.dir/tlb.cpp.o"
+  "CMakeFiles/lpomp_tlb.dir/tlb.cpp.o.d"
+  "CMakeFiles/lpomp_tlb.dir/tlb_hierarchy.cpp.o"
+  "CMakeFiles/lpomp_tlb.dir/tlb_hierarchy.cpp.o.d"
+  "liblpomp_tlb.a"
+  "liblpomp_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpomp_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

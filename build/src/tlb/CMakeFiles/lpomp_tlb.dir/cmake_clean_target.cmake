@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpomp_tlb.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erc_protocol.dir/test_erc_protocol.cpp.o"
+  "CMakeFiles/test_erc_protocol.dir/test_erc_protocol.cpp.o.d"
+  "test_erc_protocol"
+  "test_erc_protocol.pdb"
+  "test_erc_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hugetlbfs.dir/test_hugetlbfs.cpp.o"
+  "CMakeFiles/test_hugetlbfs.dir/test_hugetlbfs.cpp.o.d"
+  "test_hugetlbfs"
+  "test_hugetlbfs.pdb"
+  "test_hugetlbfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hugetlbfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

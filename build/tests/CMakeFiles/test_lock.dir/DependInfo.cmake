@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lock.cpp" "tests/CMakeFiles/test_lock.dir/test_lock.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_lock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/npb/CMakeFiles/lpomp_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/lpomp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lpomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/lpomp_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/lpomp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lpomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/lpomp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpomp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg_channel.dir/test_msg_channel.cpp.o"
+  "CMakeFiles/test_msg_channel.dir/test_msg_channel.cpp.o.d"
+  "test_msg_channel"
+  "test_msg_channel.pdb"
+  "test_msg_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processor_spec.dir/test_processor_spec.cpp.o"
+  "CMakeFiles/test_processor_spec.dir/test_processor_spec.cpp.o.d"
+  "test_processor_spec"
+  "test_processor_spec.pdb"
+  "test_processor_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processor_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_promotion.dir/test_promotion.cpp.o"
+  "CMakeFiles/test_promotion.dir/test_promotion.cpp.o.d"
+  "test_promotion"
+  "test_promotion.pdb"
+  "test_promotion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

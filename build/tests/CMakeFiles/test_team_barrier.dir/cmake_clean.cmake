@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_team_barrier.dir/test_team_barrier.cpp.o"
+  "CMakeFiles/test_team_barrier.dir/test_team_barrier.cpp.o.d"
+  "test_team_barrier"
+  "test_team_barrier.pdb"
+  "test_team_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_team_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

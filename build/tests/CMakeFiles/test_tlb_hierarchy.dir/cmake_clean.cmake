@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_hierarchy.dir/test_tlb_hierarchy.cpp.o"
+  "CMakeFiles/test_tlb_hierarchy.dir/test_tlb_hierarchy.cpp.o.d"
+  "test_tlb_hierarchy"
+  "test_tlb_hierarchy.pdb"
+  "test_tlb_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_phys_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_address_space[1]_include.cmake")
+include("/root/repo/build/tests/test_hugetlbfs[1]_include.cmake")
+include("/root/repo/build/tests/test_promotion[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_processor_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_prof[1]_include.cmake")
+include("/root/repo/build/tests/test_msg_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_erc_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_core_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_team_barrier[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_for[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_npb[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
