@@ -5,10 +5,12 @@
 // LPOMP_* environment overrides.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "npb/npb.hpp"
 #include "support/format.hpp"
 #include "support/options.hpp"
@@ -67,6 +69,52 @@ inline npb::NpbResult run_checked(npb::Kernel kernel, npb::Klass klass,
 
 inline std::string improvement(double t4k, double t2m) {
   return format_percent((t4k - t2m) / t4k);
+}
+
+// --- experiment-engine plumbing (parallel harnesses) -------------------------
+
+/// Engine sized from --workers= / LPOMP_WORKERS (0 → one per host core).
+inline exec::ExperimentEngine make_engine(const Options& opts) {
+  exec::ExperimentEngine::Config cfg;
+  cfg.workers = static_cast<unsigned>(opts.get_int("workers", 0));
+  return exec::ExperimentEngine(cfg);
+}
+
+/// Aborts loudly if any run of the sweep failed or mis-verified — the
+/// engine-level analogue of run_checked (a wrong answer invalidates the
+/// timing, so no table is printed from a bad sweep).
+inline void require_all_verified(const exec::SweepResult& result) {
+  for (const exec::RunRecord& r : result.records) {
+    if (!r.ok) {
+      std::cerr << "RUN FAILED: " << r.kernel << "." << r.klass << " ("
+                << r.platform << ", " << r.page_kind << ", " << r.threads
+                << "T): " << r.error << "\n";
+      std::exit(2);
+    }
+    if (!r.verified) {
+      std::cerr << "VERIFICATION FAILED: " << r.kernel << "." << r.klass
+                << " (" << r.platform << ", " << r.page_kind << ", "
+                << r.threads << "T)\n";
+      std::exit(2);
+    }
+  }
+}
+
+/// Writes the sweep's JSON document to --json=<path> when given. By default
+/// only deterministic fields are emitted, so two invocations with different
+/// --workers= diff byte-identically; --json-host adds wall times and cache
+/// provenance.
+inline void write_json(const Options& opts, const exec::SweepResult& result) {
+  const std::string path = opts.get("json", "");
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write --json=" << path << "\n";
+    std::exit(2);
+  }
+  os << result.to_json(opts.get_flag("json-host")) << "\n";
+  std::cout << "\nwrote " << path << " (" << result.records.size()
+            << " runs)\n";
 }
 
 }  // namespace lpomp::bench

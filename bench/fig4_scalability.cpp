@@ -5,6 +5,13 @@
 // thread per core is used up to 4 threads; the Xeon's 8-thread point uses
 // two SMT contexts per core.
 //
+// The whole grid runs through the experiment engine: every (kernel,
+// platform, threads, page kind) point is an independent task on the
+// work-stealing pool (--workers=, default one per host core), and results
+// are bit-identical for any worker count. --json=fig4.json dumps the
+// per-run records; repeated points already computed this process are
+// served from the engine's result cache.
+//
 // Shape targets (paper §4.4): CG/SP/MG improve ~15-25% at 4 threads on the
 // Opteron with 2 MB pages; BT and FT see no significant change; both
 // platforms scale 1→4; the Xeon fails to scale 4→8 because its SMT flushes
@@ -17,44 +24,48 @@ using namespace lpomp;
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const npb::Klass klass = bench::klass_by_name(opts.get("klass", "R"));
-  const sim::ProcessorSpec opteron = sim::ProcessorSpec::opteron270();
-  const sim::ProcessorSpec xeon = sim::ProcessorSpec::xeon_ht();
+
+  exec::SweepSpec spec = exec::SweepSpec::figure4(klass);
+  spec.kernels = bench::kernels_from(opts);
+
+  exec::ExperimentEngine engine = bench::make_engine(opts);
+  const exec::SweepResult result = engine.run(spec);
+  bench::require_all_verified(result);
 
   std::cout << "Figure 4: Scalability with 4KB and 2MB pages (class "
-            << npb::klass_name(klass)
-            << "; times in simulated seconds)\n";
+            << npb::klass_name(klass) << "; times in simulated seconds; "
+            << result.workers << " workers, "
+            << format_seconds(result.wall_ms / 1e3) << "s wall)\n";
 
-  for (npb::Kernel k : bench::kernels_from(opts)) {
-    std::cout << "\n--- " << npb::kernel_name(k) << " ---\n";
+  const std::string opteron = sim::ProcessorSpec::opteron270().name;
+  const std::string xeon = sim::ProcessorSpec::xeon_ht().name;
+  for (npb::Kernel k : spec.kernels) {
+    const std::string kernel = npb::kernel_name(k);
+    std::cout << "\n--- " << kernel << " ---\n";
     TextTable table({"threads", "opteron-4KB", "opteron-2MB", "opt. improv",
                      "xeon-4KB", "xeon-2MB", "xeon improv"});
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
       std::vector<std::string> row{std::to_string(threads)};
-      if (threads <= opteron.max_threads()) {
-        const double t4k =
-            bench::run_checked(k, klass, opteron, threads, PageKind::small4k)
-                .simulated_seconds;
-        const double t2m =
-            bench::run_checked(k, klass, opteron, threads, PageKind::large2m)
-                .simulated_seconds;
-        row.push_back(format_seconds(t4k));
-        row.push_back(format_seconds(t2m));
-        row.push_back(bench::improvement(t4k, t2m));
+      const exec::RunRecord* o4k = result.find(kernel, opteron, threads, "4KB");
+      const exec::RunRecord* o2m = result.find(kernel, opteron, threads, "2MB");
+      if (o4k != nullptr && o2m != nullptr) {
+        row.push_back(format_seconds(o4k->simulated_seconds));
+        row.push_back(format_seconds(o2m->simulated_seconds));
+        row.push_back(bench::improvement(o4k->simulated_seconds,
+                                         o2m->simulated_seconds));
       } else {
         row.insert(row.end(), {"-", "-", "-"});
       }
-      const double x4k =
-          bench::run_checked(k, klass, xeon, threads, PageKind::small4k)
-              .simulated_seconds;
-      const double x2m =
-          bench::run_checked(k, klass, xeon, threads, PageKind::large2m)
-              .simulated_seconds;
-      row.push_back(format_seconds(x4k));
-      row.push_back(format_seconds(x2m));
-      row.push_back(bench::improvement(x4k, x2m));
+      const exec::RunRecord* x4k = result.find(kernel, xeon, threads, "4KB");
+      const exec::RunRecord* x2m = result.find(kernel, xeon, threads, "2MB");
+      row.push_back(format_seconds(x4k->simulated_seconds));
+      row.push_back(format_seconds(x2m->simulated_seconds));
+      row.push_back(bench::improvement(x4k->simulated_seconds,
+                                       x2m->simulated_seconds));
       table.add_row(std::move(row));
     }
     table.print();
   }
+  bench::write_json(opts, result);
   return 0;
 }

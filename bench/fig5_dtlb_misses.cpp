@@ -3,6 +3,10 @@
 // OProfile "L1 and L2 DTLB miss" event — misses that required a hardware
 // page walk).
 //
+// Runs through the experiment engine (--workers= parallel tasks,
+// --json=fig5.json records); the walk counts come from the per-run JSON
+// counters (dtlb_walks_4k + dtlb_walks_2m).
+//
 // Shape target (paper §4.4): CG, SP and MG drop by a factor of 10 or more;
 // BT and FT by only ~2-3×, matching their smaller performance gains.
 #include "bench/bench_common.hpp"
@@ -13,30 +17,37 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const npb::Klass klass = bench::klass_by_name(opts.get("klass", "R"));
   const auto threads = static_cast<unsigned>(opts.get_int("threads", 4));
-  const sim::ProcessorSpec opteron = sim::ProcessorSpec::opteron270();
 
+  exec::SweepSpec spec = exec::SweepSpec::figure5(klass, threads);
+  spec.kernels = bench::kernels_from(opts);
+
+  exec::ExperimentEngine engine = bench::make_engine(opts);
+  const exec::SweepResult result = engine.run(spec);
+  bench::require_all_verified(result);
+
+  const std::string opteron = sim::ProcessorSpec::opteron270().name;
   std::cout << "Figure 5: Normalized DTLB misses at " << threads
-            << " threads, " << opteron.name << " (class "
-            << npb::klass_name(klass) << ")\n\n";
+            << " threads, " << opteron << " (class " << npb::klass_name(klass)
+            << "; " << result.workers << " workers)\n\n";
 
   TextTable table({"Application", "4KB misses", "2MB misses",
                    "normalized 4KB", "normalized 2MB", "reduction factor"});
-  for (npb::Kernel k : bench::kernels_from(opts)) {
-    const npb::NpbResult r4k =
-        bench::run_checked(k, klass, opteron, threads, PageKind::small4k);
-    const npb::NpbResult r2m =
-        bench::run_checked(k, klass, opteron, threads, PageKind::large2m);
-    const auto m4k = r4k.profile.count(prof::ProfileReport::kDtlbWalk);
-    const auto m2m = r2m.profile.count(prof::ProfileReport::kDtlbWalk);
+  for (npb::Kernel k : spec.kernels) {
+    const std::string kernel = npb::kernel_name(k);
+    const exec::RunRecord* r4k = result.find(kernel, opteron, threads, "4KB");
+    const exec::RunRecord* r2m = result.find(kernel, opteron, threads, "2MB");
+    const count_t m4k = r4k->dtlb_walks_4k + r4k->dtlb_walks_2m;
+    const count_t m2m = r2m->dtlb_walks_4k + r2m->dtlb_walks_2m;
     const double norm2m =
         m4k ? static_cast<double>(m2m) / static_cast<double>(m4k) : 0.0;
-    table.add_row({npb::kernel_name(k), format_count(m4k), format_count(m2m),
-                   "1.00", format_ratio(norm2m),
+    table.add_row({kernel, format_count(m4k), format_count(m2m), "1.00",
+                   format_ratio(norm2m),
                    m2m ? format_ratio(static_cast<double>(m4k) /
                                       static_cast<double>(m2m))
                        : "inf"});
   }
   table.print();
   std::cout << "\nPaper: CG/SP/MG reduced ~10x or more; BT/FT by ~2-3x.\n";
+  bench::write_json(opts, result);
   return 0;
 }

@@ -1,0 +1,200 @@
+#include "exec/engine.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "exec/json.hpp"
+#include "prof/profile.hpp"
+
+namespace lpomp::exec {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+ResultCache::Stats stats_delta(const ResultCache::Stats& after,
+                               const ResultCache::Stats& before) {
+  ResultCache::Stats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.insertions = after.insertions - before.insertions;
+  d.evictions = after.evictions - before.evictions;
+  return d;
+}
+
+}  // namespace
+
+std::size_t SweepResult::completed() const {
+  std::size_t n = 0;
+  for (const RunRecord& r : records) n += r.ok ? 1 : 0;
+  return n;
+}
+
+std::size_t SweepResult::failed() const { return records.size() - completed(); }
+
+std::size_t SweepResult::cache_hits() const {
+  std::size_t n = 0;
+  for (const RunRecord& r : records) n += r.cache_hit ? 1 : 0;
+  return n;
+}
+
+double SweepResult::total_simulated_seconds() const {
+  double s = 0.0;
+  for (const RunRecord& r : records) s += r.simulated_seconds;
+  return s;
+}
+
+const RunRecord* SweepResult::find(const std::string& kernel,
+                                   const std::string& platform,
+                                   unsigned threads,
+                                   const std::string& page_kind) const {
+  for (const RunRecord& r : records) {
+    if (r.kernel == kernel && r.platform == platform && r.threads == threads &&
+        r.page_kind == page_kind) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::string SweepResult::summary_json(bool include_host) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("tasks", static_cast<std::uint64_t>(records.size()));
+  w.field("completed", static_cast<std::uint64_t>(completed()));
+  w.field("failed", static_cast<std::uint64_t>(failed()));
+  w.field("total_simulated_seconds", total_simulated_seconds());
+  if (include_host) {
+    w.field("workers", workers);
+    w.field("wall_ms", wall_ms);
+    w.field("cache_hits", static_cast<std::uint64_t>(cache_hits()));
+    w.field("cache_misses", cache.misses);
+    w.field("cache_hit_rate",
+            records.empty() ? 0.0
+                            : static_cast<double>(cache_hits()) /
+                                  static_cast<double>(records.size()));
+    w.field("cache_evictions", cache.evictions);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string SweepResult::to_json(bool include_host) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "lpomp-sweep-v1");
+  w.key("summary");
+  w.raw(summary_json(include_host));
+  w.key("runs");
+  w.begin_array();
+  for (const RunRecord& r : records) w.raw(r.to_json(include_host));
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+ExperimentEngine::ExperimentEngine(Config config)
+    : config_(config),
+      runner_(&ExperimentEngine::execute_task),
+      cache_(config.cache_capacity),
+      pool_(config.workers) {}
+
+void ExperimentEngine::set_task_runner(TaskRunner runner) {
+  runner_ = std::move(runner);
+}
+
+SweepResult ExperimentEngine::run(const SweepSpec& spec) {
+  return run(spec.expand());
+}
+
+SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ResultCache::Stats before = cache_.stats();
+
+  SweepResult result;
+  result.workers = pool_.workers();
+  result.records.resize(tasks.size());
+  // Each task writes its own pre-assigned slot, so the result order is the
+  // task order no matter how the pool schedules.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    RunRecord* slot = &result.records[i];
+    const RunTask* task = &tasks[i];
+    pool_.submit([this, slot, task] { *slot = run_one(*task); });
+  }
+  pool_.wait_idle();
+
+  result.wall_ms = ms_since(t0);
+  result.cache = stats_delta(cache_.stats(), before);
+  return result;
+}
+
+RunRecord ExperimentEngine::run_one(const RunTask& task) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string key = cache_key(task);
+  if (std::optional<RunRecord> hit = cache_.lookup(key)) {
+    hit->cache_hit = true;
+    hit->wall_ms = ms_since(t0);
+    return *hit;
+  }
+  RunRecord record;
+  try {
+    record = runner_(task);
+  } catch (const std::exception& e) {
+    record = base_record(task);
+    record.ok = false;
+    record.error = e.what();
+  } catch (...) {
+    record = base_record(task);
+    record.ok = false;
+    record.error = "unknown exception";
+  }
+  record.cache_hit = false;
+  record.wall_ms = ms_since(t0);
+  if (record.ok) cache_.insert(key, record);
+  return record;
+}
+
+RunRecord ExperimentEngine::base_record(const RunTask& task) {
+  RunRecord record;
+  record.kernel = npb::kernel_name(task.kernel);
+  record.klass = npb::klass_name(task.klass);
+  record.platform = task.spec.name;
+  record.threads = task.threads;
+  record.page_kind = page_kind_name(task.page_kind);
+  record.code_page_kind = page_kind_name(task.code_page_kind);
+  record.seed = task.seed;
+  record.key_digest = digest_hex(cache_key(task));
+  return record;
+}
+
+RunRecord ExperimentEngine::execute_task(const RunTask& task) {
+  core::RuntimeConfig cfg;
+  cfg.num_threads = task.threads;
+  cfg.page_kind = task.page_kind;
+  cfg.code_page_kind = task.code_page_kind;
+  cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
+
+  const npb::NpbResult r = npb::run_kernel(task.kernel, task.klass, cfg);
+
+  RunRecord record = base_record(task);
+  record.ok = true;
+  record.verified = r.verified;
+  record.checksum = r.checksum;
+  record.simulated_seconds = r.simulated_seconds;
+  using prof::ProfileReport;
+  record.cycles = r.profile.count(ProfileReport::kCycles);
+  record.accesses = r.profile.count(ProfileReport::kAccesses);
+  record.l1d_misses = r.profile.count(ProfileReport::kL1dMiss);
+  record.l2_misses = r.profile.count(ProfileReport::kL2Miss);
+  record.dtlb_l1_misses = r.profile.count(ProfileReport::kDtlbL1Miss);
+  record.dtlb_walks_4k = r.profile.count(ProfileReport::kDtlbWalk4k);
+  record.dtlb_walks_2m = r.profile.count(ProfileReport::kDtlbWalk2m);
+  record.itlb_misses = r.profile.count(ProfileReport::kItlbMiss);
+  record.walk_levels = r.profile.count(ProfileReport::kWalkLevels);
+  record.long_stalls = r.profile.count(ProfileReport::kLongStalls);
+  return record;
+}
+
+}  // namespace lpomp::exec

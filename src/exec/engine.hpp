@@ -1,0 +1,98 @@
+// ExperimentEngine — parallel execution of experiment sweeps.
+//
+// Takes a declarative SweepSpec (or an explicit task list), expands it into
+// independent RunTasks, and executes them on a work-stealing pool sized to
+// the host. Each task constructs its own Runtime/AddressSpace/Machine
+// inside npb::run_kernel, so results are bit-identical to a serial loop
+// regardless of worker count or scheduling order — the determinism the
+// paper reproduction depends on, preserved while filling every host core.
+//
+// Around execution sit two layers:
+//   * a content-keyed ResultCache (canonical config serialisation →
+//     RunRecord), so repeated or overlapping sweeps skip completed runs;
+//   * structured observability: every run yields a JSON RunRecord and a
+//     sweep yields a JSON summary (config echo, simulated cycles, walk
+//     counts per PageKind, wall time, cache provenance).
+//
+// Failure isolation: a task that throws is recorded (ok=false, error=what)
+// without poisoning the sweep — all other tasks still run and the sweep
+// returns normally.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/fingerprint.hpp"
+#include "exec/record.hpp"
+#include "exec/result_cache.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace lpomp::exec {
+
+/// Result of one engine sweep: records in task order plus aggregates.
+struct SweepResult {
+  std::vector<RunRecord> records;  ///< task order, independent of scheduling
+  unsigned workers = 0;
+  double wall_ms = 0.0;
+  ResultCache::Stats cache;  ///< cache activity of THIS sweep only
+
+  std::size_t completed() const;  ///< records with ok
+  std::size_t failed() const;
+  std::size_t cache_hits() const;
+  double total_simulated_seconds() const;
+
+  /// Record for a (kernel, platform, threads, page kind) grid point, or
+  /// nullptr — the lookup the figure harnesses print their tables from.
+  const RunRecord* find(const std::string& kernel, const std::string& platform,
+                        unsigned threads, const std::string& page_kind) const;
+
+  /// {"schema":...,"summary":{...},"runs":[...]}. With include_host=false
+  /// only deterministic fields are emitted (golden files, worker-count
+  /// equivalence diffs).
+  std::string to_json(bool include_host = true) const;
+  std::string summary_json(bool include_host = true) const;
+};
+
+class ExperimentEngine {
+ public:
+  struct Config {
+    unsigned workers = 0;             ///< 0 → one per host hardware thread
+    std::size_t cache_capacity = 4096;
+  };
+
+  /// Maps a task to its record; the default runs npb::run_kernel. Tests
+  /// substitute runners to inject failures or count executions. May throw:
+  /// the engine converts exceptions into ok=false records.
+  using TaskRunner = std::function<RunRecord(const RunTask&)>;
+
+  ExperimentEngine() : ExperimentEngine(Config{}) {}
+  explicit ExperimentEngine(Config config);
+
+  unsigned workers() const { return pool_.workers(); }
+  ResultCache& cache() { return cache_; }
+  void set_task_runner(TaskRunner runner);
+
+  SweepResult run(const SweepSpec& spec);
+  SweepResult run(const std::vector<RunTask>& tasks);
+
+  /// The default runner: one full simulated kernel run. Aborting on
+  /// verification failure is the caller's policy; the record carries
+  /// `verified` either way.
+  static RunRecord execute_task(const RunTask& task);
+
+  /// Config-echo fields + content-key digest, no run outcome (the skeleton
+  /// both execute_task and the failure path start from).
+  static RunRecord base_record(const RunTask& task);
+
+ private:
+  RunRecord run_one(const RunTask& task);
+
+  Config config_;
+  TaskRunner runner_;
+  ResultCache cache_;
+  WorkStealingPool pool_;
+};
+
+}  // namespace lpomp::exec

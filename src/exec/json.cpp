@@ -1,0 +1,124 @@
+#include "exec/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lpomp::exec {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += json_double(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  separate();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+}  // namespace lpomp::exec

@@ -1,0 +1,66 @@
+// Minimal deterministic JSON emission for the observability layer.
+//
+// The engine's per-run records and sweep summaries are consumed by golden
+// tests and by diffing two sweep invocations (--workers=1 vs --workers=N),
+// so emission must be byte-deterministic: fields appear in insertion order,
+// doubles are rendered with round-trip-exact %.17g, and no locale or
+// pointer identity leaks in. Writing (not parsing) is all the repo needs —
+// golden comparison is exact text equality on deterministic fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lpomp::exec {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Round-trip-exact, locale-independent double rendering. NaN/Inf (never
+/// produced by the simulator, but defensively) render as null.
+std::string json_double(double v);
+
+/// Incremental writer for one JSON value tree. Keys appear in call order.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("threads", 4u);
+///   w.key("runs"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits "key": — must be followed by a value/begin_*.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  /// Splices pre-rendered JSON (e.g. a record's own to_json()).
+  JsonWriter& raw(const std::string& json);
+
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace lpomp::exec

@@ -1,0 +1,58 @@
+#include "exec/record.hpp"
+
+#include "exec/json.hpp"
+
+namespace lpomp::exec {
+
+bool RunRecord::same_result(const RunRecord& o) const {
+  return kernel == o.kernel && klass == o.klass && platform == o.platform &&
+         threads == o.threads && page_kind == o.page_kind &&
+         code_page_kind == o.code_page_kind && seed == o.seed &&
+         key_digest == o.key_digest && ok == o.ok && error == o.error &&
+         verified == o.verified && checksum == o.checksum &&
+         simulated_seconds == o.simulated_seconds && cycles == o.cycles &&
+         accesses == o.accesses && l1d_misses == o.l1d_misses &&
+         l2_misses == o.l2_misses && dtlb_l1_misses == o.dtlb_l1_misses &&
+         dtlb_walks_4k == o.dtlb_walks_4k &&
+         dtlb_walks_2m == o.dtlb_walks_2m && itlb_misses == o.itlb_misses &&
+         walk_levels == o.walk_levels && long_stalls == o.long_stalls;
+}
+
+std::string RunRecord::to_json(bool include_host) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kernel", kernel);
+  w.field("klass", klass);
+  w.field("platform", platform);
+  w.field("threads", threads);
+  w.field("page_kind", page_kind);
+  w.field("code_page_kind", code_page_kind);
+  w.field("seed", seed);
+  w.field("key_digest", key_digest);
+  w.field("ok", ok);
+  if (!ok) w.field("error", error);
+  w.field("verified", verified);
+  w.field("checksum", checksum);
+  w.field("simulated_seconds", simulated_seconds);
+  w.key("counters");
+  w.begin_object();
+  w.field("cycles", cycles);
+  w.field("accesses", accesses);
+  w.field("l1d_misses", l1d_misses);
+  w.field("l2_misses", l2_misses);
+  w.field("dtlb_l1_misses", dtlb_l1_misses);
+  w.field("dtlb_walks_4k", dtlb_walks_4k);
+  w.field("dtlb_walks_2m", dtlb_walks_2m);
+  w.field("itlb_misses", itlb_misses);
+  w.field("walk_levels", walk_levels);
+  w.field("long_stalls", long_stalls);
+  w.end_object();
+  if (include_host) {
+    w.field("cache_hit", cache_hit);
+    w.field("wall_ms", wall_ms);
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lpomp::exec

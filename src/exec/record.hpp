@@ -1,0 +1,61 @@
+// Per-run observability record: the JSON-serialisable result of one
+// RunTask, combining the task's configuration, the simulator's headline
+// counters (the same events ProfileReport reports), and host-side
+// execution metadata (wall time, cache hit, worker id).
+//
+// to_json() has two fidelity levels: deterministic-only (golden tests and
+// cross-worker-count diffs — bit-identical for identical configs) and
+// full (adds host wall time / cache-hit provenance, which legitimately
+// differ between invocations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "npb/npb.hpp"
+
+namespace lpomp::exec {
+
+struct RunRecord {
+  // --- configuration echo (deterministic) ---------------------------------
+  std::string kernel;     ///< "CG"
+  std::string klass;      ///< "S"
+  std::string platform;   ///< ProcessorSpec::name
+  unsigned threads = 0;
+  std::string page_kind;  ///< "4KB" / "2MB"
+  std::string code_page_kind;
+  std::uint64_t seed = 0;
+  std::string key_digest;  ///< 16-hex-digit content-key digest
+
+  // --- outcome (deterministic) --------------------------------------------
+  bool ok = false;         ///< task ran to completion without throwing
+  std::string error;       ///< exception text when !ok
+  bool verified = false;   ///< kernel self-verification
+  double checksum = 0.0;
+  double simulated_seconds = 0.0;
+
+  // Headline simulator counters (the ProfileReport events the figures use).
+  count_t cycles = 0;
+  count_t accesses = 0;
+  count_t l1d_misses = 0;
+  count_t l2_misses = 0;
+  count_t dtlb_l1_misses = 0;
+  count_t dtlb_walks_4k = 0;  ///< full walks, per PageKind — Figure 5's event
+  count_t dtlb_walks_2m = 0;
+  count_t itlb_misses = 0;
+  count_t walk_levels = 0;
+  count_t long_stalls = 0;
+
+  // --- host-side metadata (non-deterministic; excluded from golden) -------
+  bool cache_hit = false;
+  double wall_ms = 0.0;
+
+  /// True when every deterministic field above matches — the equality the
+  /// engine's determinism guarantee (and its tests) are stated in.
+  bool same_result(const RunRecord& o) const;
+
+  /// One JSON object. `include_host` adds the non-deterministic fields.
+  std::string to_json(bool include_host = true) const;
+};
+
+}  // namespace lpomp::exec

@@ -1,0 +1,67 @@
+#include "exec/result_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace lpomp::exec {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  LPOMP_CHECK(capacity_ > 0);
+}
+
+std::optional<RunRecord> ResultCache::lookup(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key, RunRecord record) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(record);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(record));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+void ResultCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void ResultCache::reset_stats() {
+  std::lock_guard lock(mutex_);
+  stats_ = {};
+}
+
+}  // namespace lpomp::exec

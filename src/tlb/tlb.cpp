@@ -26,16 +26,23 @@ bool Tlb::lookup(vpn_t vpn, PageKind kind) {
 }
 
 bool Tlb::lookup_in(Bank& b, vpn_t vpn) {
-  if (b.mru_valid && b.mru_vpn == vpn) return true;
+  if (b.mru_valid && b.mru_vpn == vpn) {
+    // Bypass hit still counts as a use, so the timestamp invariant holds
+    // unconditionally (see the Bank comment in the header).
+    b.entries[b.mru_index].last_use = ++clock_;
+    return true;
+  }
 
   const unsigned sets = b.geom.sets();
   const unsigned set = static_cast<unsigned>(vpn % sets);
-  Entry* base = &b.entries[static_cast<std::size_t>(set) * b.geom.ways];
+  const std::size_t base_index = static_cast<std::size_t>(set) * b.geom.ways;
+  Entry* base = &b.entries[base_index];
   for (unsigned w = 0; w < b.geom.ways; ++w) {
     Entry& e = base[w];
     if (e.valid && e.vpn == vpn) {
       e.last_use = ++clock_;
       b.mru_vpn = vpn;
+      b.mru_index = base_index + w;
       b.mru_valid = true;
       return true;
     }
@@ -52,7 +59,8 @@ void Tlb::insert(vpn_t vpn, PageKind kind) {
 void Tlb::insert_in(Bank& b, vpn_t vpn) {
   const unsigned sets = b.geom.sets();
   const unsigned set = static_cast<unsigned>(vpn % sets);
-  Entry* base = &b.entries[static_cast<std::size_t>(set) * b.geom.ways];
+  const std::size_t base_index = static_cast<std::size_t>(set) * b.geom.ways;
+  Entry* base = &b.entries[base_index];
 
   Entry* victim = &base[0];
   for (unsigned w = 0; w < b.geom.ways; ++w) {
@@ -73,7 +81,15 @@ void Tlb::insert_in(Bank& b, vpn_t vpn) {
   victim->vpn = vpn;
   victim->last_use = ++clock_;
   b.mru_vpn = vpn;
+  b.mru_index = base_index + static_cast<std::size_t>(victim - base);
   b.mru_valid = true;
+}
+
+unsigned Tlb::occupancy(PageKind kind) const {
+  const Bank& b = kind == PageKind::small4k ? bank4k_ : bank2m_;
+  unsigned n = 0;
+  for (const Entry& e : b.entries) n += e.valid ? 1 : 0;
+  return n;
 }
 
 void Tlb::flush() {

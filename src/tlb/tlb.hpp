@@ -83,6 +83,10 @@ class Tlb {
   /// pre-Nehalem x86, as in the paper's 2007 hardware).
   void flush();
 
+  /// Valid entries currently held for `kind` — always ≤
+  /// geometry(kind).entries (the capacity invariant the property tests pin).
+  unsigned occupancy(PageKind kind) const;
+
   const TlbGeometry& geometry(PageKind kind) const {
     return kind == PageKind::small4k ? config_.small4k : config_.large2m;
   }
@@ -113,10 +117,14 @@ class Tlb {
     TlbGeometry geom;
     std::vector<Entry> entries;  // sets() * ways, set-major
     // 1-entry MRU filter: re-touching the most recent translation is a
-    // guaranteed hit and leaves true-LRU order unchanged, so it can bypass
-    // the associative search entirely. This keeps the simulator fast under
-    // the high page locality of real access streams.
+    // guaranteed hit and can bypass the associative search. The bypass
+    // refreshes the entry's timestamp through mru_index (O(1)), keeping the
+    // "every hit stamps last_use" invariant locally true — the property
+    // tests check true LRU against an exact reference model, and this way
+    // the guarantee doesn't rest on a subtle argument about what can
+    // interleave inside a bypass chain.
     vpn_t mru_vpn = ~vpn_t{0};
+    std::size_t mru_index = 0;
     bool mru_valid = false;
   };
 

@@ -1,0 +1,81 @@
+// Golden-file regression tests for the reproduced figures: small-class
+// Figure 4 / Figure 5 grids run through the experiment engine, and the
+// deterministic JSON projection is compared byte-for-byte against
+// checked-in tests/golden/*.json. Any change to the simulator, the
+// kernels, the cost model or the JSON schema that shifts a reproduced
+// number shows up here as a diff — numbers can't drift silently.
+//
+// To regenerate after an intentional change:
+//   LPOMP_UPDATE_GOLDEN=1 ./test_golden_figures && git diff tests/golden/
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/engine.hpp"
+
+#ifndef LPOMP_GOLDEN_DIR
+#error "LPOMP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace lpomp::exec {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(LPOMP_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_mode() { return std::getenv("LPOMP_UPDATE_GOLDEN") != nullptr; }
+
+void compare_against_golden(const std::string& name,
+                            const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << actual << "\n";
+    GTEST_SKIP() << "updated " << path;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is) << path
+                  << " missing — run with LPOMP_UPDATE_GOLDEN=1 to create";
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string expected = buf.str();
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  EXPECT_EQ(actual, expected)
+      << "reproduced " << name << " changed. If intentional, regenerate "
+      << "with LPOMP_UPDATE_GOLDEN=1 and commit the diff.";
+}
+
+/// Deterministic JSON of a sweep: the records must not depend on worker
+/// count, scheduling, host speed or cache state, so the golden comparison
+/// uses include_host=false.
+std::string deterministic_json(const SweepResult& result) {
+  return result.to_json(/*include_host=*/false);
+}
+
+TEST(GoldenFigures, Figure4SmallClass) {
+  SweepSpec spec = SweepSpec::figure4(npb::Klass::S);
+  spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
+  ExperimentEngine engine({.workers = 2});
+  const SweepResult result = engine.run(spec);
+  ASSERT_EQ(result.failed(), 0u);
+  for (const RunRecord& r : result.records) ASSERT_TRUE(r.verified);
+  compare_against_golden("fig4_small.json", deterministic_json(result));
+}
+
+TEST(GoldenFigures, Figure5SmallClass) {
+  SweepSpec spec = SweepSpec::figure5(npb::Klass::S, /*threads=*/4);
+  spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
+  ExperimentEngine engine({.workers = 2});
+  const SweepResult result = engine.run(spec);
+  ASSERT_EQ(result.failed(), 0u);
+  for (const RunRecord& r : result.records) ASSERT_TRUE(r.verified);
+  compare_against_golden("fig5_small.json", deterministic_json(result));
+}
+
+}  // namespace
+}  // namespace lpomp::exec
