@@ -13,7 +13,10 @@
 // Uses the engine's explicit task-list API: every (flush, page kind) cell
 // is an independent RunTask carrying its own CostModel, so the whole sweep
 // fans out across --workers= and each distinct cost model gets its own
-// result-cache entry.
+// result-cache entry. The tasks are trace-backed (--no-trace disables):
+// the flush axis re-simulates only four distinct address streams
+// (threads × page kind), so the kernel numerics run four times, not
+// fourteen.
 #include "bench/bench_common.hpp"
 
 using namespace lpomp;
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
     task.cost.smt_flush = flush;
     task.threads = threads;
     task.page_kind = kind;
+    task.trace_backed = !opts.get_flag("no-trace");
     return task;
   };
 

@@ -31,11 +31,37 @@ inline npb::Klass klass_by_name(const std::string& name) {
   return npb::Klass::R;
 }
 
+/// Parses --kernels= as an exact comma-separated list ("CG,FT"). Unknown or
+/// empty tokens abort with a clear message instead of being silently
+/// dropped; kernels run in canonical (all_kernels) order, deduplicated.
 inline std::vector<npb::Kernel> kernels_from(const Options& opts) {
   const std::string list = opts.get("kernels", "BT,CG,FT,SP,MG");
+  std::vector<bool> wanted(npb::all_kernels().size(), false);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(start, comma - start);
+    start = comma + 1;
+    bool known = false;
+    const std::vector<npb::Kernel> all = npb::all_kernels();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (token == npb::kernel_name(all[i])) {
+        wanted[i] = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::cerr << "unknown kernel '" << token << "' in --kernels=" << list
+                << " (valid: BT,CG,FT,SP,MG)\n";
+      std::exit(2);
+    }
+  }
   std::vector<npb::Kernel> out;
-  for (npb::Kernel k : npb::all_kernels()) {
-    if (list.find(npb::kernel_name(k)) != std::string::npos) out.push_back(k);
+  const std::vector<npb::Kernel> all = npb::all_kernels();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (wanted[i]) out.push_back(all[i]);
   }
   return out;
 }
@@ -73,11 +99,39 @@ inline std::string improvement(double t4k, double t2m) {
 
 // --- experiment-engine plumbing (parallel harnesses) -------------------------
 
-/// Engine sized from --workers= / LPOMP_WORKERS (0 → one per host core).
+/// Engine sized from --workers= / LPOMP_WORKERS (0 → one per host core);
+/// --trace-store-mb= bounds the trace store backing trace-backed sweeps.
+/// The default must fit the largest single class-R stream (a 1-thread
+/// BT/FT trace runs to several hundred MB): a trace larger than the whole
+/// budget is never stored, and its second use silently re-records.
 inline exec::ExperimentEngine make_engine(const Options& opts) {
   exec::ExperimentEngine::Config cfg;
   cfg.workers = static_cast<unsigned>(opts.get_int("workers", 0));
+  cfg.trace_store_bytes =
+      MiB(static_cast<std::size_t>(opts.get_int("trace-store-mb", 2048)));
   return exec::ExperimentEngine(cfg);
+}
+
+/// Trace provenance counts of a sweep: how many records came from each of
+/// "live", "record" and "replay".
+struct TraceProvenance {
+  std::size_t live = 0;
+  std::size_t record = 0;
+  std::size_t replay = 0;
+};
+
+inline TraceProvenance trace_provenance(const exec::SweepResult& result) {
+  TraceProvenance p;
+  for (const exec::RunRecord& r : result.records) {
+    if (r.trace_source == "record") {
+      ++p.record;
+    } else if (r.trace_source == "replay") {
+      ++p.replay;
+    } else {
+      ++p.live;
+    }
+  }
+  return p;
 }
 
 /// Aborts loudly if any run of the sweep failed or mis-verified — the

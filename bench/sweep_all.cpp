@@ -8,6 +8,13 @@
 //     extra — the content-keyed cache serves them);
 //   * Figure 3 — aggregate ITLB miss rate at 4 threads (negligible).
 //
+// The sweep is trace-backed by default: each unique address stream
+// (kernel × class × threads × page kind) is recorded once and replayed for
+// the other platform's grid points, skipping the kernel numerics without
+// changing a single counter (--no-trace runs everything live).
+// --replay-check replays every recordable task against its live run and
+// verifies bit-identity across the whole grid.
+//
 // After the cold sweep the same grid is rerun warm to exercise the result
 // cache: the rerun must be served (≥90 %, in practice 100 %) from cache and
 // must be counter-for-counter identical to the cold pass. The JSON output
@@ -17,8 +24,42 @@
 // produces byte-identical files — the engine's determinism guarantee.
 #include "bench/bench_common.hpp"
 #include "exec/json.hpp"
+#include "trace/replay.hpp"
 
 using namespace lpomp;
+
+namespace {
+
+/// --replay-check: for every task, a forced live run and a trace-store-fed
+/// run (record on first sight of the stream, replay afterwards) must agree
+/// on every deterministic counter. Returns the number of mismatches.
+std::size_t replay_check(const std::vector<exec::RunTask>& tasks,
+                         std::size_t trace_store_bytes) {
+  trace::TraceStore store(trace_store_bytes);
+  std::size_t mismatches = 0;
+  std::size_t replays = 0;
+  for (const exec::RunTask& task : tasks) {
+    exec::RunTask traced = task;
+    traced.trace_backed = true;
+    const exec::RunRecord live = exec::ExperimentEngine::execute_task(task);
+    const exec::RunRecord via_store =
+        exec::ExperimentEngine::execute_task(traced, &store);
+    if (via_store.trace_source == "replay") ++replays;
+    if (!live.same_result(via_store)) {
+      ++mismatches;
+      std::cerr << "REPLAY MISMATCH: " << task.label() << " (live vs "
+                << via_store.trace_source << ")\n";
+    }
+  }
+  const trace::TraceStore::Stats s = store.stats();
+  std::cout << "replay check: " << tasks.size() << " tasks, " << replays
+            << " replayed from " << s.traces << " recorded streams ("
+            << format_bytes(s.bytes) << "), " << mismatches
+            << " mismatches\n";
+  return mismatches;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
@@ -26,11 +67,19 @@ int main(int argc, char** argv) {
 
   exec::SweepSpec spec = exec::SweepSpec::figure4(klass);
   spec.kernels = bench::kernels_from(opts);
+  spec.trace_backed = !opts.get_flag("no-trace");
+
+  if (opts.get_flag("replay-check")) {
+    const std::size_t bytes =
+        MiB(static_cast<std::size_t>(opts.get_int("trace-store-mb", 2048)));
+    return replay_check(spec.expand(), bytes) == 0 ? 0 : 1;
+  }
 
   exec::ExperimentEngine engine = bench::make_engine(opts);
   std::cout << "sweep_all: " << spec.expand().size()
             << " runs over the Figure 4 grid (class " << npb::klass_name(klass)
-            << "), " << engine.workers() << " workers\n";
+            << "), " << engine.workers() << " workers, traces "
+            << (spec.trace_backed ? "on" : "off") << "\n";
 
   const exec::SweepResult cold = engine.run(spec);
   bench::require_all_verified(cold);
@@ -39,6 +88,21 @@ int main(int argc, char** argv) {
             << format_seconds(cold.wall_ms / 1e3) << "s wall ("
             << format_seconds(cold.total_simulated_seconds())
             << "s simulated)\n";
+  const bench::TraceProvenance prov = bench::trace_provenance(cold);
+  if (spec.trace_backed) {
+    const trace::TraceStore::Stats ts = engine.trace_store().stats();
+    std::cout << "trace store: " << prov.record << " recorded, "
+              << prov.replay << " replayed, " << prov.live << " live; "
+              << ts.released << " streams released, " << ts.traces
+              << " resident (" << format_bytes(ts.bytes) << " of "
+              << format_bytes(ts.budget) << ")";
+    if (ts.rejected > 0) {
+      // An over-budget stream is never stored, so every later task sharing
+      // it silently re-records; raise --trace-store-mb.
+      std::cout << "; " << ts.rejected << " over-budget inserts dropped";
+    }
+    std::cout << "\n";
+  }
 
   // Warm rerun over the identical grid: every task must be served from the
   // result cache with counters identical to the cold pass.
@@ -103,6 +167,17 @@ int main(int argc, char** argv) {
   w.field("identical_to_cold", identical);
   if (host) w.field("wall_ms", warm.wall_ms);
   w.end_object();
+  if (host) {
+    // Trace provenance is scheduling-dependent (which task records vs
+    // replays), so it lives with the host-only fields.
+    w.key("trace");
+    w.begin_object();
+    w.field("enabled", spec.trace_backed);
+    w.field("recorded", static_cast<std::uint64_t>(prov.record));
+    w.field("replayed", static_cast<std::uint64_t>(prov.replay));
+    w.field("live", static_cast<std::uint64_t>(prov.live));
+    w.end_object();
+  }
   w.key("sweep");
   w.raw(cold.to_json(host));
   w.end_object();

@@ -1,0 +1,236 @@
+// Trace workbench: record kernel access traces to files, replay them on any
+// platform/cost configuration, and analyse their locality structure.
+//
+//   trace_tools record --kernel=CG --klass=S --threads=4 --pages=2MB
+//                      --out=cg.lptrace [--platform=opteron] [--seed=N]
+//   trace_tools replay --in=cg.lptrace [--platform=xeon] [--seed=N]
+//                      [--code-pages=4KB] [--check]
+//   trace_tools stats  --in=cg.lptrace
+//
+// `record` runs the kernel live with the recorder attached and writes the
+// compressed trace. `replay` re-drives the simulator from the file and
+// prints the profile; with --check it also runs the same config live and
+// verifies every counter matches bit-for-bit. `stats` decodes the trace and
+// prints stride histograms, hot-page counts and reuse-distance profiles at
+// 4 KB and 2 MB granularity — the quantities that explain which kernels
+// large pages help.
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "trace/io.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+#include "trace/stats.hpp"
+
+using namespace lpomp;
+
+namespace {
+
+PageKind pages_from(const Options& opts, const char* key) {
+  const std::string v = opts.get(key, "4KB");
+  if (v == "2MB" || v == "2mb" || v == "large") return PageKind::large2m;
+  return PageKind::small4k;
+}
+
+void print_profile(const prof::ProfileReport& profile, double seconds) {
+  profile.print(std::cout);
+  std::cout << "simulated time: " << format_seconds(seconds) << "s\n";
+}
+
+int cmd_record(const Options& opts) {
+  const std::string out = opts.get("out", "");
+  if (out.empty()) {
+    std::cerr << "record: need --out=<file>\n";
+    return 2;
+  }
+  const npb::Kernel kernel = trace::kernel_from_name(opts.get("kernel", "CG"));
+  const npb::Klass klass = bench::klass_by_name(opts.get("klass", "S"));
+  const sim::ProcessorSpec spec =
+      bench::platform_by_name(opts.get("platform", "opteron"));
+  const unsigned threads = static_cast<unsigned>(opts.get_int("threads", 4));
+  const PageKind pages = pages_from(opts, "pages");
+  const PageKind code_pages = pages_from(opts, "code-pages");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
+
+  trace::TraceRecorder recorder(threads);
+  core::RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  cfg.page_kind = pages;
+  cfg.code_page_kind = code_pages;
+  cfg.sim = core::SimConfig{spec, sim::CostModel{}, seed};
+  cfg.trace_sink = &recorder;
+  const npb::NpbResult r = npb::run_kernel(kernel, klass, cfg);
+  if (!r.verified) {
+    std::cerr << "record: kernel failed verification — not writing a trace\n";
+    return 2;
+  }
+
+  trace::TraceMeta meta;
+  meta.kernel = npb::kernel_name(kernel);
+  meta.klass = npb::klass_name(klass);
+  meta.threads = threads;
+  meta.page_kind = pages;
+  meta.platform = spec.name;
+  meta.code_page_kind = code_pages;
+  meta.seed = seed;
+  meta.verified = r.verified;
+  meta.checksum = r.checksum;
+  const trace::Trace trace = recorder.finish(std::move(meta));
+  trace::save_trace_file(out, trace);
+
+  std::size_t bytes = 0;
+  for (const std::string& s : trace.streams) bytes += s.size();
+  std::cout << "recorded " << trace.key() << ": "
+            << format_count(trace.meta.accesses) << " accesses, "
+            << trace.boundaries.size() << " boundaries, "
+            << format_bytes(bytes) << " encoded ("
+            << format_ratio(8.0 * static_cast<double>(bytes) /
+                            static_cast<double>(trace.meta.accesses))
+            << " bits/access) -> " << out << "\n";
+  print_profile(r.profile, r.simulated_seconds);
+  return 0;
+}
+
+int cmd_replay(const Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) {
+    std::cerr << "replay: need --in=<file>\n";
+    return 2;
+  }
+  const trace::Trace trace = trace::load_trace_file(in);
+  trace::ReplayConfig cfg;
+  cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
+  cfg.code_page_kind = pages_from(opts, "code-pages");
+
+  std::cout << "replaying " << trace.key() << " (recorded on "
+            << trace.meta.platform << ") on " << cfg.spec.name << "\n";
+  const trace::ReplayOutcome out = trace::ReplayDriver(cfg).run(trace);
+  print_profile(out.profile, out.simulated_seconds);
+
+  if (opts.get_flag("check")) {
+    exec::RunTask task;
+    task.kernel = trace::kernel_from_name(trace.meta.kernel);
+    task.klass = trace::klass_from_name(trace.meta.klass);
+    task.spec = cfg.spec;
+    task.cost = cfg.cost;
+    task.threads = trace.meta.threads;
+    task.page_kind = trace.meta.page_kind;
+    task.code_page_kind = cfg.code_page_kind;
+    task.seed = cfg.seed;
+    const exec::RunRecord live = exec::ExperimentEngine::execute_task(task);
+    const bool same =
+        live.cycles == out.profile.count(prof::ProfileReport::kCycles) &&
+        live.simulated_seconds == out.simulated_seconds &&
+        live.accesses == out.profile.count(prof::ProfileReport::kAccesses);
+    std::cout << "live check: counters "
+              << (same ? "identical" : "DIFFER") << "\n";
+    if (!same) return 1;
+  }
+  return 0;
+}
+
+void print_histogram(const char* title, const std::vector<std::uint64_t>& h,
+                     std::uint64_t total) {
+  std::cout << title << "\n";
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const std::uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
+    std::cout << "  [" << format_count(lo) << ", " << format_count(hi)
+              << "]  " << format_count(h[i]) << "  ("
+              << format_percent(static_cast<double>(h[i]) /
+                                static_cast<double>(total))
+              << ")\n";
+  }
+}
+
+int cmd_stats(const Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) {
+    std::cerr << "stats: need --in=<file>\n";
+    return 2;
+  }
+  const trace::Trace trace = trace::load_trace_file(in);
+  std::cout << "trace " << trace.key() << " recorded on "
+            << trace.meta.platform << " (seed " << trace.meta.seed
+            << ", code pages "
+            << page_kind_name(trace.meta.code_page_kind) << ", checksum "
+            << trace.meta.checksum << ")\n";
+
+  const trace::TraceStats s = trace::analyze_trace(trace);
+  std::cout << "events: " << format_count(s.touch_events) << " touch/run, "
+            << format_count(s.compute_events) << " compute, " << s.segments
+            << " boundaries\n";
+  std::cout << "element accesses: " << format_count(s.element_accesses)
+            << " (" << format_count(s.loads) << " loads, "
+            << format_count(s.stores) << " stores), encoded in "
+            << format_bytes(s.encoded_bytes) << " = "
+            << format_ratio(s.bits_per_access()) << " bits/access\n";
+
+  std::cout << "\nstride profile: " << format_percent(
+                   static_cast<double>(s.strides.unit) /
+                   static_cast<double>(std::max<std::uint64_t>(
+                       1, s.strides.total())))
+            << " unit-stride, " << format_count(s.strides.forward)
+            << " forward vs " << format_count(s.strides.backward)
+            << " backward\n";
+  print_histogram("stride magnitude histogram (bytes):", s.strides.buckets,
+                  std::max<std::uint64_t>(1, s.strides.total()));
+
+  auto page_summary = [](const char* label,
+                         const std::unordered_map<std::uint64_t,
+                                                  std::uint64_t>& pages,
+                         const trace::ReuseDistance& reuse,
+                         std::uint64_t tlb_entries) {
+    std::uint64_t hottest = 0;
+    for (const auto& [page, count] : pages) {
+      hottest = std::max(hottest, count);
+    }
+    std::cout << label << ": " << format_count(pages.size())
+              << " pages touched, hottest " << format_count(hottest)
+              << " touches; reuse distance < " << tlb_entries
+              << " pages covers "
+              << format_percent(reuse.coverage(tlb_entries))
+              << " of warm accesses (" << format_count(reuse.cold_misses())
+              << " cold)\n";
+  };
+  std::cout << "\n";
+  // Coverage thresholds: the Opteron's 32-entry / 8-entry L1 DTLBs — the
+  // paper's Table 1 geometry this analysis exists to explain.
+  page_summary("4KB pages", s.touches_per_4k_page, s.reuse_4k, 32);
+  page_summary("2MB pages", s.touches_per_2m_page, s.reuse_2m, 8);
+
+  print_histogram("\nreuse-distance histogram (4KB pages):",
+                  s.reuse_4k.histogram(),
+                  std::max<std::uint64_t>(1, s.reuse_4k.touches() -
+                                                 s.reuse_4k.cold_misses()));
+  print_histogram("reuse-distance histogram (2MB pages):",
+                  s.reuse_2m.histogram(),
+                  std::max<std::uint64_t>(1, s.reuse_2m.touches() -
+                                                 s.reuse_2m.cold_misses()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string cmd =
+      opts.positional().empty() ? "" : opts.positional().front();
+  try {
+    if (cmd == "record") return cmd_record(opts);
+    if (cmd == "replay") return cmd_replay(opts);
+    if (cmd == "stats") return cmd_stats(opts);
+  } catch (const trace::TraceError& e) {
+    std::cerr << "trace error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "usage: trace_tools <record|replay|stats> [options]\n"
+               "  record --kernel=CG --klass=S --threads=4 --pages=4KB|2MB "
+               "--out=FILE\n"
+               "  replay --in=FILE [--platform=opteron|xeon] [--check]\n"
+               "  stats  --in=FILE\n";
+  return 2;
+}

@@ -46,6 +46,9 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
     machine_ = std::make_unique<sim::Machine>(
         config_.sim->spec, config_.sim->cost, *space_, config_.num_threads,
         config_.sim->seed);
+    if (config_.trace_sink != nullptr) {
+      machine_->set_trace_sink(config_.trace_sink);
+    }
   }
 
   channel_ = std::make_unique<dsm::MsgChannel>(config_.num_threads);

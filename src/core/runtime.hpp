@@ -73,6 +73,12 @@ struct RuntimeConfig {
 
   /// Attach the machine simulator (required for timing/profile output).
   std::optional<SimConfig> sim;
+
+  /// When non-null (and a sim is attached), every simulated access, compute
+  /// charge and fork-join boundary of the run is reported to this sink —
+  /// the hook src/trace's recorder captures address traces through. The
+  /// sink must outlive the Runtime.
+  sim::TraceSink* trace_sink = nullptr;
 };
 
 class Runtime;

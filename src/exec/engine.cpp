@@ -1,10 +1,17 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <functional>
+#include <unordered_map>
 
 #include "exec/json.hpp"
 #include "prof/profile.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
 
 namespace lpomp::exec {
 namespace {
@@ -97,9 +104,13 @@ std::string SweepResult::to_json(bool include_host) const {
 
 ExperimentEngine::ExperimentEngine(Config config)
     : config_(config),
-      runner_(&ExperimentEngine::execute_task),
       cache_(config.cache_capacity),
-      pool_(config.workers) {}
+      trace_store_(config.trace_store_bytes),
+      pool_(config.workers) {
+  runner_ = [this](const RunTask& task) {
+    return execute_task(task, task.trace_backed ? &trace_store_ : nullptr);
+  };
+}
 
 void ExperimentEngine::set_task_runner(TaskRunner runner) {
   runner_ = std::move(runner);
@@ -113,15 +124,117 @@ SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
   const auto t0 = std::chrono::steady_clock::now();
   const ResultCache::Stats before = cache_.stats();
 
+  // Recording has a per-access cost, so it only pays off when the stream is
+  // replayed later. Count how many tasks share each address stream and run
+  // single-use streams plain live (the records are identical either way —
+  // trace backing is pure execution strategy).
+  std::vector<RunTask> planned = tasks;
+  std::unordered_map<std::string, unsigned> stream_uses;
+  for (const RunTask& task : planned) {
+    if (!task.trace_backed) continue;
+    ++stream_uses[trace::trace_key(npb::kernel_name(task.kernel),
+                                   npb::klass_name(task.klass), task.threads,
+                                   task.page_kind)];
+  }
+  for (RunTask& task : planned) {
+    if (!task.trace_backed) continue;
+    if (stream_uses[trace::trace_key(npb::kernel_name(task.kernel),
+                                     npb::klass_name(task.klass),
+                                     task.threads, task.page_kind)] < 2) {
+      task.trace_backed = false;
+    }
+  }
+
+  // Sort tasks into address-stream groups (stable within and across
+  // groups): a stream's recording run leads, its replays follow.
+  std::vector<std::size_t> order(planned.size());
+  std::vector<std::size_t> rank(planned.size());
+  {
+    std::unordered_map<std::string, std::size_t> first_seen;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const RunTask& t = planned[i];
+      rank[i] = t.trace_backed
+                    ? first_seen
+                          .try_emplace(trace::trace_key(
+                                           npb::kernel_name(t.kernel),
+                                           npb::klass_name(t.klass), t.threads,
+                                           t.page_kind),
+                                       i)
+                          .first->second
+                    : i;
+      order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&rank](std::size_t a, std::size_t b) {
+                       return rank[a] < rank[b];
+                     });
+  }
+
+  // Release bookkeeping: once the last task sharing a stream completes, its
+  // trace is dropped from the store — together with the leader/follower
+  // submission below, the sweep keeps roughly one stream per worker
+  // resident instead of accumulating the whole grid's traces.
+  std::vector<std::string> stream_key(planned.size());
+  std::unordered_map<std::string, std::atomic<unsigned>> remaining;
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    if (!planned[i].trace_backed) continue;
+    stream_key[i] = trace::trace_key(npb::kernel_name(planned[i].kernel),
+                                     npb::klass_name(planned[i].klass),
+                                     planned[i].threads, planned[i].page_kind);
+    ++remaining[stream_key[i]];
+  }
+
   SweepResult result;
   result.workers = pool_.workers();
-  result.records.resize(tasks.size());
+  result.records.resize(planned.size());
   // Each task writes its own pre-assigned slot, so the result order is the
   // task order no matter how the pool schedules.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    RunRecord* slot = &result.records[i];
-    const RunTask* task = &tasks[i];
-    pool_.submit([this, slot, task] { *slot = run_one(*task); });
+  std::function<void(std::size_t)> submit_task =
+      [this, &result, &planned, &stream_key, &remaining](std::size_t i) {
+        RunRecord* slot = &result.records[i];
+        const RunTask* task = &planned[i];
+        const std::string* key =
+            stream_key[i].empty() ? nullptr : &stream_key[i];
+        std::atomic<unsigned>* uses_left =
+            key == nullptr ? nullptr : &remaining.find(*key)->second;
+        pool_.submit([this, slot, task, key, uses_left] {
+          *slot = run_one(*task);
+          if (uses_left != nullptr && uses_left->fetch_sub(1) == 1) {
+            trace_store_.erase(*key);
+          }
+        });
+      };
+
+  // A stream group's leader (its recording run) is submitted alone; the
+  // followers enter the pool only once the leader has finished and the
+  // trace is in the store. Submitting whole groups up front would let a
+  // multi-worker pool run a pair concurrently — both miss the store and the
+  // stream is recorded twice instead of replayed. All locals captured here
+  // outlive the tasks: run() blocks in wait_idle() until every dynamically
+  // submitted follower has finished too.
+  for (std::size_t g = 0; g < order.size();) {
+    std::size_t end = g + 1;
+    while (end < order.size() && rank[order[end]] == rank[order[g]]) ++end;
+    const std::size_t lead = order[g];
+    if (end - g == 1 || !planned[lead].trace_backed) {
+      for (std::size_t j = g; j < end; ++j) submit_task(order[j]);
+    } else {
+      std::vector<std::size_t> followers(order.begin() +
+                                             static_cast<std::ptrdiff_t>(g) + 1,
+                                         order.begin() +
+                                             static_cast<std::ptrdiff_t>(end));
+      RunRecord* slot = &result.records[lead];
+      const RunTask* task = &planned[lead];
+      std::atomic<unsigned>* uses_left = &remaining.find(stream_key[lead])->second;
+      const std::string* key = &stream_key[lead];
+      pool_.submit([this, slot, task, key, uses_left, &submit_task,
+                    followers = std::move(followers)] {
+        *slot = run_one(*task);
+        if (uses_left->fetch_sub(1) == 1) trace_store_.erase(*key);
+        for (const std::size_t j : followers) submit_task(j);
+      });
+    }
+    g = end;
   }
   pool_.wait_idle();
 
@@ -169,31 +282,83 @@ RunRecord ExperimentEngine::base_record(const RunTask& task) {
   return record;
 }
 
-RunRecord ExperimentEngine::execute_task(const RunTask& task) {
+namespace {
+
+/// Fills a record's outcome from any (verified, checksum, seconds, profile)
+/// source — shared by the live and replay paths so both produce records
+/// through the exact same code.
+void fill_outcome(RunRecord& record, bool verified, double checksum,
+                  double simulated_seconds, const prof::ProfileReport& p) {
+  record.ok = true;
+  record.verified = verified;
+  record.checksum = checksum;
+  record.simulated_seconds = simulated_seconds;
+  using prof::ProfileReport;
+  record.cycles = p.count(ProfileReport::kCycles);
+  record.accesses = p.count(ProfileReport::kAccesses);
+  record.l1d_misses = p.count(ProfileReport::kL1dMiss);
+  record.l2_misses = p.count(ProfileReport::kL2Miss);
+  record.dtlb_l1_misses = p.count(ProfileReport::kDtlbL1Miss);
+  record.dtlb_walks_4k = p.count(ProfileReport::kDtlbWalk4k);
+  record.dtlb_walks_2m = p.count(ProfileReport::kDtlbWalk2m);
+  record.itlb_misses = p.count(ProfileReport::kItlbMiss);
+  record.walk_levels = p.count(ProfileReport::kWalkLevels);
+  record.long_stalls = p.count(ProfileReport::kLongStalls);
+}
+
+RunRecord execute_live(const RunTask& task, sim::TraceSink* sink,
+                       RunRecord record) {
   core::RuntimeConfig cfg;
   cfg.num_threads = task.threads;
   cfg.page_kind = task.page_kind;
   cfg.code_page_kind = task.code_page_kind;
   cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
+  cfg.trace_sink = sink;
 
   const npb::NpbResult r = npb::run_kernel(task.kernel, task.klass, cfg);
+  fill_outcome(record, r.verified, r.checksum, r.simulated_seconds, r.profile);
+  return record;
+}
 
-  RunRecord record = base_record(task);
-  record.ok = true;
-  record.verified = r.verified;
-  record.checksum = r.checksum;
-  record.simulated_seconds = r.simulated_seconds;
-  using prof::ProfileReport;
-  record.cycles = r.profile.count(ProfileReport::kCycles);
-  record.accesses = r.profile.count(ProfileReport::kAccesses);
-  record.l1d_misses = r.profile.count(ProfileReport::kL1dMiss);
-  record.l2_misses = r.profile.count(ProfileReport::kL2Miss);
-  record.dtlb_l1_misses = r.profile.count(ProfileReport::kDtlbL1Miss);
-  record.dtlb_walks_4k = r.profile.count(ProfileReport::kDtlbWalk4k);
-  record.dtlb_walks_2m = r.profile.count(ProfileReport::kDtlbWalk2m);
-  record.itlb_misses = r.profile.count(ProfileReport::kItlbMiss);
-  record.walk_levels = r.profile.count(ProfileReport::kWalkLevels);
-  record.long_stalls = r.profile.count(ProfileReport::kLongStalls);
+}  // namespace
+
+RunRecord ExperimentEngine::execute_task(const RunTask& task) {
+  return execute_live(task, nullptr, base_record(task));
+}
+
+RunRecord ExperimentEngine::execute_task(const RunTask& task,
+                                         trace::TraceStore* store) {
+  if (store == nullptr || !task.trace_backed) return execute_task(task);
+
+  const std::string key =
+      trace::trace_key(npb::kernel_name(task.kernel),
+                       npb::klass_name(task.klass), task.threads,
+                       task.page_kind);
+  if (std::shared_ptr<const trace::Trace> tr = store->lookup(key)) {
+    trace::ReplayDriver driver(trace::ReplayConfig{
+        task.spec, task.cost, task.seed, task.code_page_kind});
+    const trace::ReplayOutcome out = driver.run(*tr);
+    RunRecord record = base_record(task);
+    fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
+                 out.profile);
+    record.trace_source = "replay";
+    return record;
+  }
+
+  trace::TraceRecorder recorder(task.threads);
+  RunRecord record = execute_live(task, &recorder, base_record(task));
+  trace::TraceMeta meta;
+  meta.kernel = npb::kernel_name(task.kernel);
+  meta.klass = npb::klass_name(task.klass);
+  meta.threads = task.threads;
+  meta.page_kind = task.page_kind;
+  meta.platform = task.spec.name;
+  meta.code_page_kind = task.code_page_kind;
+  meta.seed = task.seed;
+  meta.verified = record.verified;
+  meta.checksum = record.checksum;
+  store->insert(key, recorder.finish(std::move(meta)));
+  record.trace_source = "record";
   return record;
 }
 

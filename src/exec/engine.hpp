@@ -28,6 +28,7 @@
 #include "exec/result_cache.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "trace/store.hpp"
 
 namespace lpomp::exec {
 
@@ -60,6 +61,8 @@ class ExperimentEngine {
   struct Config {
     unsigned workers = 0;             ///< 0 → one per host hardware thread
     std::size_t cache_capacity = 4096;
+    /// Byte budget of the trace store backing trace_backed tasks.
+    std::size_t trace_store_bytes = MiB(512);
   };
 
   /// Maps a task to its record; the default runs npb::run_kernel. Tests
@@ -72,6 +75,7 @@ class ExperimentEngine {
 
   unsigned workers() const { return pool_.workers(); }
   ResultCache& cache() { return cache_; }
+  trace::TraceStore& trace_store() { return trace_store_; }
   void set_task_runner(TaskRunner runner);
 
   SweepResult run(const SweepSpec& spec);
@@ -81,6 +85,13 @@ class ExperimentEngine {
   /// verification failure is the caller's policy; the record carries
   /// `verified` either way.
   static RunRecord execute_task(const RunTask& task);
+
+  /// Trace-backed execution: when `store` is non-null and the task opts in,
+  /// the task's address stream is replayed from the store if a recording
+  /// exists (trace_source="replay"), otherwise the live run records it for
+  /// later tasks (trace_source="record"). Results are bit-identical to
+  /// execute_task(task) either way.
+  static RunRecord execute_task(const RunTask& task, trace::TraceStore* store);
 
   /// Config-echo fields + content-key digest, no run outcome (the skeleton
   /// both execute_task and the failure path start from).
@@ -92,6 +103,7 @@ class ExperimentEngine {
   Config config_;
   TaskRunner runner_;
   ResultCache cache_;
+  trace::TraceStore trace_store_;
   WorkStealingPool pool_;
 };
 

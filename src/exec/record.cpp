@@ -50,6 +50,7 @@ std::string RunRecord::to_json(bool include_host) const {
   if (include_host) {
     w.field("cache_hit", cache_hit);
     w.field("wall_ms", wall_ms);
+    w.field("trace_source", trace_source);
   }
   w.end_object();
   return w.str();

@@ -49,6 +49,11 @@ struct RunRecord {
   // --- host-side metadata (non-deterministic; excluded from golden) -------
   bool cache_hit = false;
   double wall_ms = 0.0;
+  /// How this result was produced: "live" (full kernel run), "record"
+  /// (live run that also captured a trace) or "replay" (trace replay).
+  /// Scheduling decides which task records vs replays, so this is
+  /// provenance, not part of the deterministic result.
+  std::string trace_source = "live";
 
   /// True when every deterministic field above matches — the equality the
   /// engine's determinism guarantee (and its tests) are stated in.

@@ -33,6 +33,7 @@ std::vector<RunTask> SweepSpec::expand() const {
           task.code_page_kind = code_page_kind;
           task.seed =
               per_task_seeds ? splitmix64(base_seed + index) : base_seed;
+          task.trace_backed = trace_backed;
           tasks.push_back(std::move(task));
           ++index;
         }

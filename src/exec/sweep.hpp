@@ -45,6 +45,14 @@ struct RunTask {
   PageKind code_page_kind = PageKind::small4k;
   std::uint64_t seed = 0x5eedULL;
 
+  /// Run through the engine's trace store: record this task's address
+  /// stream on first use and replay it for every later task that shares it
+  /// (same kernel/class/threads/page kind — see src/trace). Replayed
+  /// results are bit-identical to live runs, so this is an execution
+  /// strategy, not part of the result's identity (it is deliberately NOT in
+  /// the cache key).
+  bool trace_backed = false;
+
   /// Human-readable tag, e.g. "CG.R/opteron270/4T/2MB".
   std::string label() const;
 };
@@ -66,6 +74,11 @@ struct SweepSpec {
   /// false → every task runs with base_seed (bit-identical to the serial
   /// harnesses); true → per-task seeds via splitmix64(base_seed + index).
   bool per_task_seeds = false;
+
+  /// Expanded tasks record/replay address traces through the engine's
+  /// trace store (default: a sweep's platform axis re-simulates identical
+  /// streams, which is exactly what traces amortise).
+  bool trace_backed = true;
 
   /// Grid order: kernel-major, then platform, threads, page kind.
   std::vector<RunTask> expand() const;

@@ -79,6 +79,11 @@ class Machine {
   void attach_code_all(vaddr_t base, std::size_t size, PageKind kind,
                        count_t jump_period, double cold_fraction);
 
+  /// Attach (or detach, with nullptr) an access-trace sink: every thread
+  /// reports its events under its tid, and the fork-join boundaries are
+  /// reported in machine order. See sim/trace_sink.hpp for the contract.
+  void set_trace_sink(TraceSink* sink);
+
  private:
   ProcessorSpec spec_;
   CostModel cost_;
@@ -88,6 +93,7 @@ class Machine {
   ThreadCounters serial_mark_;                // master snapshot at last boundary
   bool in_parallel_ = false;
   cycles_t total_cycles_ = 0;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace lpomp::sim

@@ -1,0 +1,25 @@
+// One slot of a bulk-replayed access pattern, shared between the trace
+// decoder (which produces batches of these) and ThreadSim::replay_pattern
+// (which drives them through the machine model) so replay needs no per-event
+// conversion between layers.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace lpomp::sim {
+
+/// A touch/run whose address advances by `period_inc` every period, or a
+/// fixed compute charge.
+struct ReplaySlot {
+  vaddr_t addr = 0;
+  std::int64_t period_inc = 0;  ///< address advance per period
+  std::uint64_t n = 0;          ///< touch/run: element count (touch = 1)
+  cycles_t cycles = 0;          ///< compute slots only
+  bool is_compute = false;
+  PageKind page = PageKind::small4k;
+  Access access = Access::load;
+};
+
+}  // namespace lpomp::sim

@@ -55,6 +55,11 @@ ThreadSim::ThreadSim(const CostModel& cm, const mem::AddressSpace& space,
       rng_(seed) {}
 
 void ThreadSim::touch(vaddr_t addr, PageKind kind, Access access) {
+  if (trace_ != nullptr) trace_->on_touch(trace_tid_, addr, kind, access);
+  touch_impl(addr, kind, access);
+}
+
+void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
   ThreadCounters& c = counters_;
   ++c.accesses;
   const bool is_store = access == Access::store;
@@ -161,8 +166,51 @@ bool ThreadSim::prefetcher_covers(std::uint64_t line_addr,
 
 void ThreadSim::touch_run(vaddr_t addr, std::size_t n, PageKind kind,
                           Access access) {
+  if (trace_ != nullptr) trace_->on_touch_run(trace_tid_, addr, n, kind, access);
   for (std::size_t i = 0; i < n; ++i) {
-    touch(addr + i * sizeof(double), kind, access);
+    touch_impl(addr + i * sizeof(double), kind, access);
+  }
+}
+
+void ThreadSim::replay_pattern(ReplaySlot* slots, std::size_t count,
+                               std::uint64_t periods) {
+  // Each slot is copied to a local before issuing: touch_impl's stores could
+  // alias the slot array for all the compiler knows, and the reloads that
+  // would force are a measurable per-event cost. Single touches (n == 1) are
+  // the dominant slot shape, so they skip the element loop; single-period
+  // batches (literal stretches of a poorly compressing stream) also skip the
+  // per-period address writeback.
+  if (periods == 1) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const ReplaySlot s = slots[j];
+      if (s.is_compute) {
+        counters_.exec_cycles += s.cycles;
+      } else if (s.n == 1) {
+        touch_impl(s.addr, s.page, s.access);
+      } else {
+        for (std::uint64_t i = 0; i < s.n; ++i) {
+          touch_impl(s.addr + i * sizeof(double), s.page, s.access);
+        }
+      }
+    }
+    return;
+  }
+  for (std::uint64_t rep = 0; rep < periods; ++rep) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const ReplaySlot s = slots[j];
+      if (s.is_compute) {
+        counters_.exec_cycles += s.cycles;
+        continue;
+      }
+      if (s.n == 1) {
+        touch_impl(s.addr, s.page, s.access);
+      } else {
+        for (std::uint64_t i = 0; i < s.n; ++i) {
+          touch_impl(s.addr + i * sizeof(double), s.page, s.access);
+        }
+      }
+      slots[j].addr = s.addr + static_cast<vaddr_t>(s.period_inc);
+    }
   }
 }
 

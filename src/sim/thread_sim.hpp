@@ -13,6 +13,8 @@
 #include "cache/cache.hpp"
 #include "mem/address_space.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/replay_slot.hpp"
+#include "sim/trace_sink.hpp"
 #include "support/rng.hpp"
 #include "support/types.hpp"
 #include "tlb/tlb_hierarchy.hpp"
@@ -67,7 +69,25 @@ class ThreadSim {
   void touch_run(vaddr_t addr, std::size_t n, PageKind kind, Access access);
 
   /// Charge pure compute work (FP arithmetic etc.) that does not touch memory.
-  void add_compute(cycles_t cycles) { counters_.exec_cycles += cycles; }
+  void add_compute(cycles_t cycles) {
+    if (trace_ != nullptr) trace_->on_compute(trace_tid_, cycles);
+    counters_.exec_cycles += cycles;
+  }
+
+  /// Drive `periods` repetitions of a periodic pattern through the machine
+  /// model — semantically identical to issuing every touch/run/compute
+  /// individually, without the per-event call overhead. Mutates the slots'
+  /// addresses in place. Replay support: events are NOT reported to an
+  /// attached trace sink.
+  void replay_pattern(ReplaySlot* slots, std::size_t count,
+                      std::uint64_t periods);
+
+  /// Attach (or detach, with nullptr) an access-trace sink. Every subsequent
+  /// touch/touch_run/add_compute is reported as thread `tid` of the sink.
+  void set_trace_sink(TraceSink* sink, unsigned tid) {
+    trace_ = sink;
+    trace_tid_ = tid;
+  }
 
   /// Configure the instruction-stream model: the code region of the binary
   /// and how often the thread's control flow leaves the current hot page
@@ -90,6 +110,11 @@ class ThreadSim {
   const cache::Cache& l2() const { return l2_; }
 
  private:
+  /// The accounting body of touch(); the public entry points layer trace
+  /// reporting on top (touch_run reports one run event, then accounts each
+  /// element through here so the machine-model behaviour is unchanged).
+  void touch_impl(vaddr_t addr, PageKind kind, Access access);
+
   void instruction_jump();
 
   /// Stream-prefetcher probe for an L2 miss on `line_addr` (byte address >>
@@ -125,6 +150,9 @@ class ThreadSim {
   static constexpr unsigned kStreams = 16;
   Stream streams_[kStreams];
   unsigned stream_rr_ = 0;
+
+  TraceSink* trace_ = nullptr;
+  unsigned trace_tid_ = 0;
 
   Rng rng_;
   ThreadCounters counters_;

@@ -4,6 +4,7 @@
 // sensible defaults while still being steerable.
 #pragma once
 
+#include <cctype>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -42,7 +43,11 @@ class Options {
     if (auto it = values_.find(key); it != values_.end()) return it->second;
     std::string env_name = "LPOMP_";
     for (char c : key) {
-      env_name += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+      // std::toupper requires a value representable as unsigned char; a
+      // plain (possibly negative) char is UB.
+      env_name += (c == '-') ? '_'
+                             : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(c)));
     }
     if (const char* env = std::getenv(env_name.c_str())) return env;
     return def;

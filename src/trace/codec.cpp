@@ -1,0 +1,501 @@
+#include "trace/codec.hpp"
+
+#include <cstdlib>
+
+namespace lpomp::trace {
+
+namespace {
+
+// Wire opcodes (see codec.hpp header comment).
+constexpr std::uint8_t kOpRepeat = 0x00;
+constexpr std::uint8_t kOpSegment = 0x01;
+constexpr std::uint8_t kOpEnd = 0x02;
+constexpr std::uint8_t kOpCompute = 0x03;
+constexpr std::uint8_t kOpRun = 0x04;
+constexpr std::uint8_t kOpTouchBit = 0x40;
+
+constexpr std::uint8_t pack_flags(unsigned head, PageKind kind,
+                                  Access access) {
+  return static_cast<std::uint8_t>((head << 3) |
+                                   (kind == PageKind::large2m ? 0x4 : 0x0) |
+                                   static_cast<unsigned>(access));
+}
+
+constexpr PageKind flags_kind(std::uint8_t flags) {
+  return (flags & 0x4) != 0 ? PageKind::large2m : PageKind::small4k;
+}
+
+Access flags_access(std::uint8_t flags) {
+  switch (flags & 0x3) {
+    case 0: return Access::load;
+    case 1: return Access::store;
+    case 2: return Access::ifetch;
+    default: throw TraceError("trace: invalid access code in flags");
+  }
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finaliser — good avalanche for the period-discovery hash.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::string_view bytes, std::size_t* pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (*pos >= bytes.size()) throw TraceError("trace: truncated varint");
+    const std::uint8_t b = static_cast<std::uint8_t>(bytes[(*pos)++]);
+    if (shift == 63 && b > 1) throw TraceError("trace: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw TraceError("trace: varint overflow");
+  }
+}
+
+// --- ThreadEncoder ----------------------------------------------------------
+
+unsigned ThreadEncoder::pick_head(vaddr_t addr) {
+  unsigned best = 0;
+  std::uint64_t best_dist = ~std::uint64_t{0};
+  for (unsigned h = 0; h < kHeads; ++h) {
+    const std::int64_t d =
+        static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(heads_[h]);
+    const std::uint64_t dist = static_cast<std::uint64_t>(d < 0 ? -d : d);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = h;
+    }
+  }
+  if (best_dist > kFarThreshold) {
+    // This address starts (or resumes) a stream far from everything the
+    // heads are tracking: recycle the coldest head rather than yanking an
+    // active stream's head megabytes away.
+    for (unsigned h = 0; h < kHeads; ++h) {
+      if (head_used_[h] < head_used_[best]) best = h;
+    }
+  }
+  head_used_[best] = ++tick_;
+  return best;
+}
+
+void ThreadEncoder::touch_slow(vaddr_t addr, PageKind kind, Access access) {
+  const unsigned h = pick_head(addr);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(heads_[h]);
+  heads_[h] = addr;
+  Symbol s;
+  s.tag = static_cast<std::uint8_t>(kOpTouchBit | pack_flags(h, kind, access));
+  s.delta = delta;
+  push(s);
+}
+
+void ThreadEncoder::touch_run_slow(vaddr_t addr, std::uint64_t n,
+                                   PageKind kind, Access access) {
+  const unsigned h = pick_head(addr);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(heads_[h]);
+  // The decoder advances the head to the run's last element the same way.
+  heads_[h] = addr + (n > 0 ? (n - 1) * sizeof(double) : 0);
+  Symbol s;
+  s.tag = kOpRun;
+  s.flags = pack_flags(h, kind, access);
+  s.delta = delta;
+  s.arg = n;
+  push(s);
+}
+
+void ThreadEncoder::compute_slow(cycles_t cycles) {
+  Symbol s;
+  s.tag = kOpCompute;
+  s.arg = cycles;
+  push(s);
+}
+
+void ThreadEncoder::segment() {
+  flush_repeat();
+  out_.push_back(static_cast<char>(kOpSegment));
+}
+
+void ThreadEncoder::finish() {
+  if (finished_) return;
+  flush_repeat();
+  out_.push_back(static_cast<char>(kOpEnd));
+  finished_ = true;
+}
+
+void ThreadEncoder::push(const Symbol& s) {
+  if (repeat_count_ > 0) {
+    if (s == period_buf_[period_cursor_]) {
+      ++repeat_count_;
+      advance_cursor();
+      return;
+    }
+    flush_repeat();
+  }
+  // Try to open a repeat: look up the last position of this exact symbol and
+  // verify the candidate period against the ring (the hash is approximate —
+  // a collision only costs a missed repeat, so one multiply per field plus
+  // one finalising mix is plenty).
+  const std::uint64_t key =
+      mix64((static_cast<std::uint64_t>(s.delta) * 0x9e3779b97f4a7c15ULL) ^
+            (s.arg * 0xbf58476d1ce4e5b9ULL) ^
+            (static_cast<std::uint64_t>(s.tag) << 8 | s.flags));
+  const HashSlot& slot = last_pos_[key % kHashSlots];
+  if (slot.key == key && slot.pos != ~std::uint64_t{0}) {
+    const std::uint64_t p = ring_len_ - slot.pos;
+    if (p >= 1 && p <= kRing && p <= ring_len_ &&
+        s == ring_at(ring_len_ - p)) {
+      repeat_period_ = p;
+      repeat_count_ = 1;
+      push_ring(s, key);
+      capture_period();
+      return;
+    }
+  }
+  emit(s);
+  push_ring(s, key);
+}
+
+void ThreadEncoder::capture_period() {
+  // The last repeat_period_ ring positions hold exactly one period (the
+  // just-pushed symbol is its final element), so the next predicted symbol
+  // is the window's first: cursor 0.
+  for (std::uint64_t j = 0; j < repeat_period_; ++j) {
+    const std::uint64_t idx = (ring_len_ - repeat_period_ + j) % kRing;
+    period_buf_[j] = ring_[idx];
+    period_keys_[j] = ring_keys_[idx];
+  }
+  period_cursor_ = 0;
+}
+
+void ThreadEncoder::close_repeat_window() {
+  // Symbols 2..repeat_count_ of the repeat were confirmed against the period
+  // buffer without being pushed; append them to the ring now in one pass.
+  // Only the final kRing positions can survive in the window, and position
+  // S + i (S = frozen ring length) holds period symbol i mod p.
+  const std::uint64_t extra = repeat_count_ - 1;
+  if (extra == 0) return;
+  const std::uint64_t start = ring_len_;
+  const std::uint64_t final_len = start + extra;
+  const std::uint64_t from =
+      final_len > kRing ? std::max(start, final_len - kRing) : start;
+  for (std::uint64_t pos = from; pos < final_len; ++pos) {
+    const std::uint64_t j = (pos - start) % repeat_period_;
+    const std::uint64_t idx = pos % kRing;
+    ring_[idx] = period_buf_[j];
+    ring_keys_[idx] = period_keys_[j];
+    last_pos_[period_keys_[j] % kHashSlots] =
+        HashSlot{period_keys_[j], pos};
+  }
+  ring_len_ = final_len;
+  // Every head driven by the pattern was active through the whole repeat;
+  // refresh its recency so far-touch recycling prefers genuinely cold heads.
+  for (std::uint64_t j = 0; j < repeat_period_; ++j) {
+    const Symbol& s = period_buf_[j];
+    if ((s.tag & kOpTouchBit) != 0) {
+      head_used_[(s.tag >> 3) & 0x7] = ++tick_;
+    } else if (s.tag == kOpRun) {
+      head_used_[(s.flags >> 3) & 0x7] = ++tick_;
+    }
+  }
+}
+
+void ThreadEncoder::push_ring(const Symbol& s, std::uint64_t key) {
+  const std::uint64_t slot = ring_len_ % kRing;
+  ring_[slot] = s;
+  ring_keys_[slot] = key;
+  last_pos_[key % kHashSlots] = HashSlot{key, ring_len_};
+  ++ring_len_;
+}
+
+void ThreadEncoder::emit(const Symbol& s) {
+  if ((s.tag & kOpTouchBit) != 0) {
+    out_.push_back(static_cast<char>(s.tag));
+    put_varint(out_, zigzag(s.delta));
+  } else if (s.tag == kOpRun) {
+    out_.push_back(static_cast<char>(kOpRun));
+    out_.push_back(static_cast<char>(s.flags));
+    put_varint(out_, zigzag(s.delta));
+    put_varint(out_, s.arg);
+  } else {  // compute
+    out_.push_back(static_cast<char>(kOpCompute));
+    put_varint(out_, s.arg);
+  }
+}
+
+void ThreadEncoder::flush_repeat() {
+  if (repeat_count_ == 0) return;
+  if (repeat_count_ == 1 && repeat_period_ > 0) {
+    // A one-shot "repeat" is shorter as a literal.
+    emit(ring_at(ring_len_ - 1));
+  } else {
+    out_.push_back(static_cast<char>(kOpRepeat));
+    put_varint(out_, repeat_period_);
+    put_varint(out_, repeat_count_);
+  }
+  close_repeat_window();
+  repeat_period_ = 0;
+  repeat_count_ = 0;
+}
+
+// --- ThreadDecoder ----------------------------------------------------------
+
+Event ThreadDecoder::apply(std::uint8_t tag, std::uint8_t flags,
+                           std::int64_t delta, std::uint64_t arg) {
+  ring_[ring_len_ % ThreadEncoder::kRing] = RingSymbol{tag, flags, delta, arg};
+  ++ring_len_;
+  if (tag == kOpCompute) return Event::compute_ev(arg);
+
+  const std::uint8_t f = (tag & kOpTouchBit) != 0
+                             ? static_cast<std::uint8_t>(tag & 0x3f)
+                             : flags;
+  const unsigned h = (f >> 3) & 0x7;
+  const vaddr_t addr = static_cast<vaddr_t>(
+      static_cast<std::int64_t>(heads_[h]) + delta);
+  if (tag == kOpRun) {
+    heads_[h] = addr + (arg > 0 ? (arg - 1) * sizeof(double) : 0);
+    return Event::run_ev(addr, arg, flags_kind(f), flags_access(f));
+  }
+  heads_[h] = addr;
+  return Event::touch_ev(addr, flags_kind(f), flags_access(f));
+}
+
+ThreadDecoder::Item ThreadDecoder::next() {
+  if (done_) throw TraceError("trace: read past end of stream");
+
+  if (repeat_remaining_ > 0) {
+    --repeat_remaining_;
+    const RingSymbol s = ring_[(ring_len_ - repeat_period_) %
+                               ThreadEncoder::kRing];
+    return Item{ItemKind::event, apply(s.tag, s.flags, s.delta, s.arg)};
+  }
+
+  while (true) {
+    if (pos_ >= bytes_.size()) {
+      throw TraceError("trace: stream truncated (no END marker)");
+    }
+    const std::uint8_t op = static_cast<std::uint8_t>(bytes_[pos_++]);
+
+    if ((op & kOpTouchBit) != 0) {
+      const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+      return Item{ItemKind::event, apply(op, 0, delta, 0)};
+    }
+    switch (op) {
+      case kOpRepeat: {
+        const std::uint64_t p = get_varint(bytes_, &pos_);
+        const std::uint64_t n = get_varint(bytes_, &pos_);
+        if (p < 1 || p > ThreadEncoder::kRing || p > ring_len_ || n == 0) {
+          throw TraceError("trace: invalid repeat record");
+        }
+        repeat_period_ = p;
+        repeat_remaining_ = n - 1;
+        const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
+        return Item{ItemKind::event, apply(s.tag, s.flags, s.delta, s.arg)};
+      }
+      case kOpSegment:
+        return Item{ItemKind::segment, Event{}};
+      case kOpEnd:
+        if (pos_ != bytes_.size()) {
+          throw TraceError("trace: bytes after END marker");
+        }
+        done_ = true;
+        return Item{ItemKind::end, Event{}};
+      case kOpCompute: {
+        const std::uint64_t cycles = get_varint(bytes_, &pos_);
+        return Item{ItemKind::event, apply(kOpCompute, 0, 0, cycles)};
+      }
+      case kOpRun: {
+        if (pos_ >= bytes_.size()) throw TraceError("trace: truncated run");
+        const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
+        const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+        const std::uint64_t n = get_varint(bytes_, &pos_);
+        return Item{ItemKind::event, apply(kOpRun, flags, delta, n)};
+      }
+      default:
+        throw TraceError("trace: unknown opcode " + std::to_string(op));
+    }
+  }
+}
+
+void ThreadDecoder::append_slot(Block& out, const Event& ev) {
+  PatternSlot slot;
+  if (ev.kind == Event::Kind::compute) {
+    slot.is_compute = true;
+    slot.cycles = ev.arg;
+  } else {
+    slot.addr = ev.addr;
+    slot.n = ev.kind == Event::Kind::run ? ev.arg : 1;
+    slot.page = ev.page;
+    slot.access = ev.access;
+  }
+  out.pattern.push_back(slot);
+}
+
+bool ThreadDecoder::next_block(Block& out) {
+  if (done_) throw TraceError("trace: read past end of stream");
+
+  out.pattern.clear();
+  out.periods = 1;
+
+  // Tail of a repeat (a partial final period, or a repeat too short for the
+  // closed-form jump): one single-period batch, fully applied.
+  if (repeat_remaining_ > 0) {
+    const std::uint64_t r = repeat_remaining_;
+    repeat_remaining_ = 0;
+    for (std::uint64_t i = 0; i < r; ++i) {
+      const RingSymbol s = ring_[(ring_len_ - repeat_period_) %
+                                 ThreadEncoder::kRing];
+      append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+    }
+    out.kind = Block::Kind::pattern;
+    return true;
+  }
+
+  // Batch consecutive literal events (poorly compressing streams are almost
+  // all literals) into one single-period block so the replay loop pays block
+  // dispatch once per kBatchSlots events, not per event.
+  while (true) {
+    if (pos_ >= bytes_.size()) {
+      throw TraceError("trace: stream truncated (no END marker)");
+    }
+    const std::uint8_t op = static_cast<std::uint8_t>(bytes_[pos_++]);
+
+    if ((op & kOpTouchBit) != 0) {
+      const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+      append_slot(out, apply(op, 0, delta, 0));
+      if (out.pattern.size() >= kBatchSlots) {
+        out.kind = Block::Kind::pattern;
+        return true;
+      }
+      continue;
+    }
+    if (op == kOpCompute) {
+      const std::uint64_t cycles = get_varint(bytes_, &pos_);
+      append_slot(out, apply(kOpCompute, 0, 0, cycles));
+      if (out.pattern.size() >= kBatchSlots) {
+        out.kind = Block::Kind::pattern;
+        return true;
+      }
+      continue;
+    }
+    if (op == kOpRun) {
+      if (pos_ >= bytes_.size()) throw TraceError("trace: truncated run");
+      const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
+      const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+      const std::uint64_t n = get_varint(bytes_, &pos_);
+      append_slot(out, apply(kOpRun, flags, delta, n));
+      if (out.pattern.size() >= kBatchSlots) {
+        out.kind = Block::Kind::pattern;
+        return true;
+      }
+      continue;
+    }
+
+    // Non-literal opcode: flush any open batch first (the opcode is a single
+    // byte, so it can simply be un-read).
+    if (!out.pattern.empty()) {
+      --pos_;
+      out.kind = Block::Kind::pattern;
+      return true;
+    }
+
+    switch (op) {
+      case kOpRepeat: {
+        const std::uint64_t p = get_varint(bytes_, &pos_);
+        const std::uint64_t n = get_varint(bytes_, &pos_);
+        if (p < 1 || p > ThreadEncoder::kRing || p > ring_len_ || n == 0) {
+          throw TraceError("trace: invalid repeat record");
+        }
+        const std::uint64_t q = n / p;
+        if (q < 2) {
+          // Shorter than two whole periods: apply every event directly.
+          repeat_period_ = p;
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
+            append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+          }
+          out.kind = Block::Kind::pattern;
+          return true;
+        }
+
+      // Collapse q whole periods into one pattern block. Applying the first
+      // period both yields each slot's first-period event and tells us how
+      // far every head moves per period; the remaining q-1 periods then
+      // reduce to a closed-form state jump (heads advance linearly, and the
+      // ring ends holding the same cyclic window element-wise replay would
+      // leave behind).
+      const std::uint64_t len0 = ring_len_;
+      const std::array<vaddr_t, ThreadEncoder::kHeads> heads_before = heads_;
+      std::array<RingSymbol, ThreadEncoder::kRing> period_syms;
+      for (std::uint64_t j = 0; j < p; ++j) {
+        const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
+        period_syms[j] = s;
+        append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+      }
+      std::array<std::int64_t, ThreadEncoder::kHeads> inc;
+      for (unsigned h = 0; h < ThreadEncoder::kHeads; ++h) {
+        inc[h] = static_cast<std::int64_t>(heads_[h]) -
+                 static_cast<std::int64_t>(heads_before[h]);
+      }
+      for (std::uint64_t j = 0; j < p; ++j) {
+        PatternSlot& slot = out.pattern[j];
+        if (slot.is_compute) continue;
+        const RingSymbol& s = period_syms[j];
+        const std::uint8_t f = (s.tag & kOpTouchBit) != 0
+                                   ? static_cast<std::uint8_t>(s.tag & 0x3f)
+                                   : s.flags;
+        slot.period_inc = inc[(f >> 3) & 0x7];
+      }
+      // State jump for periods 2..q (wrapping arithmetic matches the
+      // element-wise head evolution exactly).
+      for (unsigned h = 0; h < ThreadEncoder::kHeads; ++h) {
+        heads_[h] += (q - 1) * static_cast<std::uint64_t>(inc[h]);
+      }
+      const std::uint64_t final_len = len0 + q * p;
+      for (std::uint64_t pos = final_len > ThreadEncoder::kRing
+                                   ? std::max(ring_len_,
+                                              final_len - ThreadEncoder::kRing)
+                                   : ring_len_;
+           pos < final_len; ++pos) {
+        ring_[pos % ThreadEncoder::kRing] = period_syms[(pos - len0) % p];
+      }
+      ring_len_ = final_len;
+      // Any partial trailing period is delivered by the next call as a
+      // single-period batch.
+      repeat_period_ = p;
+      repeat_remaining_ = n - q * p;
+      out.kind = Block::Kind::pattern;
+      out.periods = q;
+      return true;
+      }
+      case kOpSegment:
+        out.kind = Block::Kind::segment;
+        return true;
+      case kOpEnd:
+        if (pos_ != bytes_.size()) {
+          throw TraceError("trace: bytes after END marker");
+        }
+        done_ = true;
+        out.kind = Block::Kind::end;
+        return false;
+      default:
+        throw TraceError("trace: unknown opcode " + std::to_string(op));
+    }
+  }
+}
+
+}  // namespace lpomp::trace

@@ -1,0 +1,29 @@
+// Versioned binary container for traces.
+//
+// Layout:
+//   magic   "LPOMPTRC"                      (8 bytes)
+//   version u32 little-endian               (kTraceFormatVersion)
+//   payload meta, boundaries, streams       (varint/length-prefixed)
+//   fnv64   FNV-1a of the payload bytes     (u64 little-endian)
+//
+// Writer and reader stream the payload (no whole-file buffering beyond the
+// stream contents themselves) while folding every byte into the checksum.
+// The reader rejects bad magic, unknown versions, truncation, trailing
+// garbage and checksum mismatches with TraceError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+/// File convenience wrappers; throw TraceError on I/O failure too.
+void save_trace_file(const std::string& path, const Trace& trace);
+Trace load_trace_file(const std::string& path);
+
+}  // namespace lpomp::trace

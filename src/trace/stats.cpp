@@ -1,0 +1,187 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace lpomp::trace {
+
+namespace {
+
+/// Bucket index for a positive magnitude: floor(log2(v)) + 1 (bucket 0 is
+/// reserved for v == 0), clamped to the histogram size.
+std::size_t log_bucket(std::uint64_t v, std::size_t nbuckets) {
+  if (v == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  return b < nbuckets ? b : nbuckets - 1;
+}
+
+}  // namespace
+
+void StrideHistogram::add(std::int64_t delta) {
+  if (delta > 0) {
+    ++forward;
+  } else if (delta < 0) {
+    ++backward;
+  }
+  const std::uint64_t mag =
+      static_cast<std::uint64_t>(delta < 0 ? -delta : delta);
+  if (mag == sizeof(double)) ++unit;
+  ++buckets[log_bucket(mag, buckets.size())];
+}
+
+std::uint64_t StrideHistogram::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t b : buckets) t += b;
+  return t;
+}
+
+// --- ReuseDistance ----------------------------------------------------------
+
+void ReuseDistance::touch(vaddr_t addr) {
+  ++touches_;
+  const std::uint64_t page = addr >> shift_;
+  if (now_ + 1 >= fenwick_.size()) compact();
+  const std::uint64_t t = ++now_;
+
+  auto add = [this](std::uint64_t i, std::int64_t v) {
+    for (; i < fenwick_.size(); i += i & (~i + 1)) {
+      fenwick_[i] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(fenwick_[i]) + v);
+    }
+  };
+  auto prefix = [this](std::uint64_t i) {
+    std::uint64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += fenwick_[i];
+    return s;
+  };
+
+  auto it = last_time_.find(page);
+  if (it == last_time_.end()) {
+    ++cold_;
+    last_time_.emplace(page, t);
+    add(t, 1);
+    return;
+  }
+  const std::uint64_t last = it->second;
+  // Distinct pages touched since this page's previous access: live last-use
+  // marks with a timestamp greater than `last`.
+  const std::uint64_t distance = last_time_.size() - prefix(last);
+  ++hist_[log_bucket(distance, hist_.size())];
+  add(last, -1);
+  add(t, 1);
+  it->second = t;
+}
+
+void ReuseDistance::compact() {
+  // Renumber live pages 1..P in last-use order; the tree only ever needs to
+  // span the live marks plus headroom for new timestamps.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pages(
+      last_time_.begin(), last_time_.end());
+  std::sort(pages.begin(), pages.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::size_t cap =
+      std::max<std::size_t>(4096, pages.size() * 2 + 16);
+  fenwick_.assign(cap + 1, 0);
+  now_ = 0;
+  auto add = [this](std::uint64_t i) {
+    for (; i < fenwick_.size(); i += i & (~i + 1)) ++fenwick_[i];
+  };
+  for (auto& [page, time] : pages) {
+    last_time_[page] = ++now_;
+    add(now_);
+  }
+}
+
+double ReuseDistance::coverage(std::uint64_t entries) const {
+  // Exact for power-of-two `entries` (buckets 0..k cover [0, 2^k));
+  // otherwise rounds entries down to a power of two.
+  const std::uint64_t warm = touches_ - cold_;
+  if (warm == 0 || entries == 0) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(std::bit_width(entries)) - 1;
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i <= k && i < hist_.size(); ++i) {
+    covered += hist_[i];
+  }
+  return static_cast<double>(covered) / static_cast<double>(warm);
+}
+
+// --- analyze_trace ----------------------------------------------------------
+
+double TraceStats::bits_per_access() const {
+  if (element_accesses == 0) return 0.0;
+  return 8.0 * static_cast<double>(encoded_bytes) /
+         static_cast<double>(element_accesses);
+}
+
+TraceStats analyze_trace(const Trace& trace) {
+  TraceStats stats;
+  for (const std::string& s : trace.streams) stats.encoded_bytes += s.size();
+
+  std::vector<ThreadDecoder> decoders;
+  decoders.reserve(trace.streams.size());
+  for (const std::string& s : trace.streams) decoders.emplace_back(s);
+
+  // Previous touched address per thread, for the stride histogram.
+  std::vector<vaddr_t> prev(trace.streams.size(), 0);
+  std::vector<bool> has_prev(trace.streams.size(), false);
+
+  auto element = [&](unsigned tid, vaddr_t addr, Access access) {
+    if (access == Access::store) {
+      ++stats.stores;
+    } else {
+      ++stats.loads;
+    }
+    if (has_prev[tid]) {
+      stats.strides.add(static_cast<std::int64_t>(addr) -
+                        static_cast<std::int64_t>(prev[tid]));
+    }
+    prev[tid] = addr;
+    has_prev[tid] = true;
+    ++stats.touches_per_4k_page[addr >> 12];
+    ++stats.touches_per_2m_page[addr >> 21];
+    stats.reuse_4k.touch(addr);
+    stats.reuse_2m.touch(addr);
+    ++stats.element_accesses;
+  };
+
+  // Walk the trace in the replayer's feeding order (per segment,
+  // round-robin over threads), so the reuse-distance interleaving matches
+  // what the simulator stack sees.
+  std::vector<bool> done(trace.streams.size(), false);
+  bool any_open = true;
+  while (any_open) {
+    any_open = false;
+    for (unsigned tid = 0; tid < trace.streams.size(); ++tid) {
+      if (done[tid]) continue;
+      while (true) {
+        const ThreadDecoder::Item item = decoders[tid].next();
+        if (item.kind == ThreadDecoder::ItemKind::end) {
+          done[tid] = true;
+          break;
+        }
+        if (item.kind == ThreadDecoder::ItemKind::segment) {
+          if (tid == 0) ++stats.segments;
+          any_open = true;
+          break;
+        }
+        const Event& e = item.event;
+        if (e.kind == Event::Kind::compute) {
+          ++stats.compute_events;
+          continue;
+        }
+        ++stats.touch_events;
+        if (e.kind == Event::Kind::touch) {
+          element(tid, e.addr, e.access);
+        } else {
+          for (std::uint64_t i = 0; i < e.arg; ++i) {
+            element(tid, e.addr + i * sizeof(double), e.access);
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace lpomp::trace

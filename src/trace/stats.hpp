@@ -1,0 +1,92 @@
+// Offline trace analytics for bench/trace_tools: stride histograms,
+// per-page touch counts and LRU stack (reuse) distance profiles at 4 KB and
+// 2 MB page granularity — the quantities that explain *why* large pages
+// help a kernel (few hot pages with short reuse distances fit an 8-entry
+// 2 MB DTLB; the same footprint as thousands of 4 KB pages does not).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+
+/// Power-of-two histogram of successive-address deltas within one thread's
+/// touch stream. Bucket i counts |delta| in [2^(i-1), 2^i); bucket 0 counts
+/// delta == 0.
+struct StrideHistogram {
+  std::vector<std::uint64_t> buckets = std::vector<std::uint64_t>(48, 0);
+  std::uint64_t forward = 0;   ///< delta > 0
+  std::uint64_t backward = 0;  ///< delta < 0
+  std::uint64_t unit = 0;      ///< |delta| == sizeof(double)
+
+  void add(std::int64_t delta);
+  std::uint64_t total() const;
+};
+
+/// Exact LRU stack-distance profile at one page granularity, computed with
+/// a Fenwick tree over access timestamps (compacted periodically so the
+/// tree stays proportional to the number of distinct pages, not the trace
+/// length). Distances are counted in distinct pages; histogram buckets are
+/// powers of two.
+class ReuseDistance {
+ public:
+  /// `page_shift`: 12 for 4 KB pages, 21 for 2 MB pages.
+  explicit ReuseDistance(unsigned page_shift) : shift_(page_shift) {}
+
+  void touch(vaddr_t addr);
+
+  /// Bucket i counts reuse distances in [2^(i-1), 2^i); bucket 0 is
+  /// distance 0 (consecutive touches to the same page).
+  const std::vector<std::uint64_t>& histogram() const { return hist_; }
+  std::uint64_t cold_misses() const { return cold_; }
+  std::uint64_t touches() const { return touches_; }
+  std::size_t distinct_pages() const { return last_time_.size(); }
+
+  /// Fraction of (warm) touches whose reuse distance is strictly less than
+  /// `entries` — i.e. the hit rate of an ideal fully-associative LRU TLB
+  /// with that many entries.
+  double coverage(std::uint64_t entries) const;
+
+ private:
+  void compact();
+
+  unsigned shift_;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_time_;  // page → time
+  std::vector<std::uint64_t> fenwick_;  // 1-based; marks live last-use times
+  std::uint64_t now_ = 0;
+  std::uint64_t cold_ = 0;
+  std::uint64_t touches_ = 0;
+  std::vector<std::uint64_t> hist_ = std::vector<std::uint64_t>(48, 0);
+};
+
+/// Everything trace_tools prints for one trace.
+struct TraceStats {
+  std::uint64_t touch_events = 0;  ///< touch + run events (runs count once)
+  std::uint64_t element_accesses = 0;  ///< touches + run element counts
+  std::uint64_t compute_events = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t segments = 0;
+
+  StrideHistogram strides;  ///< merged over threads
+
+  std::unordered_map<std::uint64_t, std::uint64_t> touches_per_4k_page;
+  std::unordered_map<std::uint64_t, std::uint64_t> touches_per_2m_page;
+
+  ReuseDistance reuse_4k{12};
+  ReuseDistance reuse_2m{21};
+
+  std::size_t encoded_bytes = 0;
+  double bits_per_access() const;
+};
+
+/// Decodes the whole trace and accumulates statistics. Touch-runs are
+/// expanded element by element (they are semantically n unit-stride
+/// touches). Reuse distance treats the interleaving across threads
+/// round-robin by segment, matching the replayer's feeding order.
+TraceStats analyze_trace(const Trace& trace);
+
+}  // namespace lpomp::trace

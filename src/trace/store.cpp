@@ -1,0 +1,68 @@
+#include "trace/store.hpp"
+
+namespace lpomp::trace {
+
+std::shared_ptr<const Trace> TraceStore::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.hits;
+  return it->second->trace;
+}
+
+std::shared_ptr<const Trace> TraceStore::insert(const std::string& key,
+                                                Trace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->trace;
+  }
+  const std::size_t bytes = trace.bytes();
+  if (bytes > budget_) {
+    ++counters_.rejected;
+    return std::make_shared<const Trace>(std::move(trace));
+  }
+  auto shared = std::make_shared<const Trace>(std::move(trace));
+  lru_.push_front(Entry{key, shared, bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++counters_.insertions;
+  evict_to_budget_locked();
+  return shared;
+}
+
+bool TraceStore::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++counters_.released;
+  return true;
+}
+
+void TraceStore::evict_to_budget_locked() {
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+TraceStore::Stats TraceStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.traces = lru_.size();
+  s.bytes = bytes_;
+  s.budget = budget_;
+  return s;
+}
+
+}  // namespace lpomp::trace

@@ -1,0 +1,77 @@
+// Thread-safe in-memory trace store with a byte-budget LRU policy.
+//
+// The experiment engine records each unique address stream once and replays
+// it for every other sweep point that shares the stream (platform, cost
+// model, seed and code-page axes). Traces are shared_ptr-owned so an
+// eviction never invalidates a trace a worker is still replaying.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t byte_budget = MiB(512))
+      : budget_(byte_budget) {}
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Returns the trace stored under `key` (refreshing its LRU position), or
+  /// nullptr. The returned trace stays valid even if evicted afterwards.
+  std::shared_ptr<const Trace> lookup(const std::string& key);
+
+  /// Stores `trace` under `key` and evicts least-recently-used entries
+  /// until the budget holds again. If `key` is already present the existing
+  /// entry is kept (first recording wins; concurrent workers may race to
+  /// record the same stream — the streams are identical anyway). A trace
+  /// larger than the whole budget is not stored. Returns the stored (or
+  /// pre-existing) trace.
+  std::shared_ptr<const Trace> insert(const std::string& key, Trace trace);
+
+  /// Drops the entry under `key` (no-op if absent, returns whether it was
+  /// present). The engine calls this once the last task sharing a stream
+  /// has completed, so a sweep holds roughly one stream resident at a time
+  /// instead of accumulating the whole grid's traces. In-flight replays are
+  /// unaffected (shared ownership).
+  bool erase(const std::string& key);
+
+  struct Stats {
+    std::size_t traces = 0;   ///< entries currently resident
+    std::size_t bytes = 0;    ///< resident compressed bytes
+    std::size_t budget = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;  ///< inserts dropped (over-budget trace)
+    std::uint64_t released = 0;  ///< entries dropped via erase()
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Trace> trace;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats counters_;
+};
+
+}  // namespace lpomp::trace

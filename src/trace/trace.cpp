@@ -1,0 +1,45 @@
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+
+std::string trace_key(std::string_view kernel, std::string_view klass,
+                      unsigned threads, PageKind page_kind) {
+  std::string key;
+  key.reserve(kernel.size() + klass.size() + 12);
+  key.append(kernel);
+  key.push_back('.');
+  key.append(klass);
+  key.push_back('/');
+  key.append(std::to_string(threads));
+  key.append("T/");
+  key.append(page_kind == PageKind::large2m ? "2MB" : "4KB");
+  return key;
+}
+
+std::string Trace::key() const {
+  return trace_key(meta.kernel, meta.klass, meta.threads, meta.page_kind);
+}
+
+std::size_t Trace::bytes() const {
+  std::size_t total = sizeof(Trace) + meta.kernel.size() + meta.klass.size() +
+                      meta.platform.size() + boundaries.size();
+  for (const std::string& s : streams) total += s.size() + sizeof(std::string);
+  return total;
+}
+
+npb::Kernel kernel_from_name(std::string_view name) {
+  for (npb::Kernel k : npb::all_kernels()) {
+    if (name == npb::kernel_name(k)) return k;
+  }
+  throw TraceError("trace: unknown kernel name '" + std::string(name) + "'");
+}
+
+npb::Klass klass_from_name(std::string_view name) {
+  for (npb::Klass k : {npb::Klass::S, npb::Klass::W, npb::Klass::A,
+                       npb::Klass::B, npb::Klass::R}) {
+    if (name == npb::klass_name(k)) return k;
+  }
+  throw TraceError("trace: unknown class name '" + std::string(name) + "'");
+}
+
+}  // namespace lpomp::trace

@@ -1,0 +1,349 @@
+// Property and robustness tests for the trace codec and file container:
+// arbitrary event streams must round-trip exactly, realistic streams must
+// compress hard, and corrupt/truncated inputs must be rejected with
+// TraceError (never UB or a crash).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/codec.hpp"
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+namespace {
+
+/// A stream item as fed to the encoder: an event or a segment marker.
+struct RefItem {
+  bool is_segment = false;
+  Event event;
+};
+
+std::string encode(const std::vector<RefItem>& items) {
+  ThreadEncoder enc;
+  for (const RefItem& item : items) {
+    if (item.is_segment) {
+      enc.segment();
+      continue;
+    }
+    switch (item.event.kind) {
+      case Event::Kind::touch:
+        enc.touch(item.event.addr, item.event.page, item.event.access);
+        break;
+      case Event::Kind::run:
+        enc.touch_run(item.event.addr, item.event.arg, item.event.page,
+                      item.event.access);
+        break;
+      case Event::Kind::compute:
+        enc.compute(item.event.arg);
+        break;
+    }
+  }
+  enc.finish();
+  return enc.bytes();
+}
+
+void expect_roundtrip(const std::vector<RefItem>& items) {
+  const std::string bytes = encode(items);
+  ThreadDecoder dec(bytes);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ThreadDecoder::Item got = dec.next();
+    if (items[i].is_segment) {
+      ASSERT_EQ(got.kind, ThreadDecoder::ItemKind::segment) << "item " << i;
+    } else {
+      ASSERT_EQ(got.kind, ThreadDecoder::ItemKind::event) << "item " << i;
+      ASSERT_EQ(got.event, items[i].event) << "item " << i;
+    }
+  }
+  EXPECT_EQ(dec.next().kind, ThreadDecoder::ItemKind::end);
+}
+
+TEST(TraceCodec, VarintRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                          16384ULL, 0xdeadbeefULL, ~0ULL}) {
+    std::string buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, &pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(TraceCodec, ZigzagRoundTrip) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 4096LL, -4096LL,
+                         (1LL << 46), -(1LL << 46)}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+}
+
+TEST(TraceCodec, EmptyStream) {
+  ThreadEncoder enc;
+  enc.finish();
+  ThreadDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.next().kind, ThreadDecoder::ItemKind::end);
+  EXPECT_THROW(dec.next(), TraceError);
+}
+
+TEST(TraceCodec, MixedEventsRoundTrip) {
+  std::vector<RefItem> items;
+  items.push_back({false, Event::touch_ev(0x10000000, PageKind::small4k,
+                                          Access::load)});
+  items.push_back({false, Event::touch_ev(0x10000008, PageKind::small4k,
+                                          Access::store)});
+  items.push_back({false, Event::compute_ev(12345)});
+  items.push_back({false, Event::run_ev(0x80000000, 1000, PageKind::large2m,
+                                        Access::load)});
+  items.push_back({true, Event{}});
+  items.push_back({false, Event::touch_ev(0x10000000, PageKind::small4k,
+                                          Access::ifetch)});
+  items.push_back({true, Event{}});
+  expect_roundtrip(items);
+}
+
+/// Random mixture of sequential runs, strided scans, random gathers,
+/// computes and segment markers — the adversarial input for the encoder's
+/// head/repeat heuristics.
+std::vector<RefItem> random_stream(std::uint64_t seed) {
+  Rng rng(seed * 0x1234567);
+  std::vector<RefItem> items;
+  // A few "arrays" far apart, like a real pool layout.
+  const vaddr_t bases[] = {0x10000000, 0x10400000, 0x13000000, 0x80000000};
+  while (items.size() < 50000) {
+    const unsigned choice = static_cast<unsigned>(rng.next_below(10));
+    const vaddr_t base = bases[rng.next_below(4)];
+    const PageKind kind =
+        base >= 0x80000000 ? PageKind::large2m : PageKind::small4k;
+    const Access access =
+        rng.next_below(3) == 0 ? Access::store : Access::load;
+    if (choice < 4) {
+      // Sequential burst.
+      vaddr_t a = base + rng.next_below(1 << 20) * 8;
+      const std::size_t n = 1 + rng.next_below(64);
+      for (std::size_t i = 0; i < n; ++i, a += 8) {
+        items.push_back({false, Event::touch_ev(a, kind, access)});
+      }
+    } else if (choice < 6) {
+      // Strided scan.
+      vaddr_t a = base + rng.next_below(1 << 16) * 8;
+      const std::uint64_t stride = 8 * (1 + rng.next_below(4096));
+      const std::size_t n = 1 + rng.next_below(32);
+      for (std::size_t i = 0; i < n; ++i, a += stride) {
+        items.push_back({false, Event::touch_ev(a, kind, access)});
+      }
+    } else if (choice < 8) {
+      // Random gather.
+      const std::size_t n = 1 + rng.next_below(32);
+      for (std::size_t i = 0; i < n; ++i) {
+        items.push_back(
+            {false, Event::touch_ev(base + rng.next_below(1 << 22) * 8,
+                                    kind, access)});
+      }
+    } else if (choice == 8) {
+      items.push_back(
+          {false, Event::run_ev(base + rng.next_below(1 << 20) * 8,
+                                1 + rng.next_below(5000), kind, access)});
+    } else {
+      items.push_back({false, Event::compute_ev(rng.next_below(1 << 30))});
+      if (rng.next_below(50) == 0) items.push_back({true, Event{}});
+    }
+  }
+  return items;
+}
+
+// The property test: whatever the encoder's head/repeat heuristics do
+// internally, the decoded stream must be the input, exactly.
+TEST(TraceCodec, RandomStreamsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_roundtrip(random_stream(seed));
+  }
+}
+
+// next_block() must deliver exactly the stream next() does, just batched:
+// expanding every pattern block (each period advances a slot's address by
+// its period_inc) reproduces the per-event decode. Events are compared in
+// simulator semantics — a touch and a 1-element run are the same access.
+TEST(TraceCodec, BlockDecodeMatchesEventDecode) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::string bytes = encode(random_stream(seed));
+    ThreadDecoder by_event(bytes);
+    ThreadDecoder by_block(bytes);
+
+    auto expect_access = [&by_event](vaddr_t addr, std::uint64_t n,
+                                     PageKind page, Access access) {
+      const ThreadDecoder::Item ref = by_event.next();
+      ASSERT_EQ(ref.kind, ThreadDecoder::ItemKind::event);
+      ASSERT_NE(ref.event.kind, Event::Kind::compute);
+      ASSERT_EQ(ref.event.addr, addr);
+      ASSERT_EQ(ref.event.kind == Event::Kind::run ? ref.event.arg : 1, n);
+      ASSERT_EQ(ref.event.page, page);
+      ASSERT_EQ(ref.event.access, access);
+    };
+
+    ThreadDecoder::Block block;
+    while (by_block.next_block(block)) {
+      if (block.kind == ThreadDecoder::Block::Kind::segment) {
+        ASSERT_EQ(by_event.next().kind, ThreadDecoder::ItemKind::segment);
+        continue;
+      }
+      ASSERT_EQ(block.kind, ThreadDecoder::Block::Kind::pattern);
+      ASSERT_GE(block.periods, 1u);
+      std::vector<ThreadDecoder::PatternSlot> slots = block.pattern;
+      for (std::uint64_t rep = 0; rep < block.periods; ++rep) {
+        for (ThreadDecoder::PatternSlot& s : slots) {
+          if (s.is_compute) {
+            const ThreadDecoder::Item ref = by_event.next();
+            ASSERT_EQ(ref.kind, ThreadDecoder::ItemKind::event);
+            ASSERT_EQ(ref.event.kind, Event::Kind::compute);
+            ASSERT_EQ(ref.event.arg, s.cycles);
+          } else {
+            expect_access(s.addr, s.n, s.page, s.access);
+            s.addr += static_cast<vaddr_t>(s.period_inc);
+          }
+        }
+      }
+    }
+    ASSERT_EQ(block.kind, ThreadDecoder::Block::Kind::end);
+    EXPECT_EQ(by_event.next().kind, ThreadDecoder::ItemKind::end);
+  }
+}
+
+TEST(TraceCodec, PeriodicPatternsCompress) {
+  // A period-3 stencil-like pattern over 30k touches must collapse to well
+  // under a byte per access.
+  std::vector<RefItem> items;
+  vaddr_t a = 0x10000000;
+  for (int i = 0; i < 10000; ++i, a += 8) {
+    items.push_back({false, Event::touch_ev(a, PageKind::small4k,
+                                            Access::load)});
+    items.push_back({false, Event::touch_ev(a + 0x20000, PageKind::small4k,
+                                            Access::load)});
+    items.push_back({false, Event::touch_ev(a + 0x40000, PageKind::small4k,
+                                            Access::store)});
+  }
+  const std::string bytes = encode(items);
+  EXPECT_LT(bytes.size(), items.size() / 10);
+  expect_roundtrip(items);
+}
+
+TEST(TraceCodec, TruncatedStreamThrows) {
+  std::vector<RefItem> items;
+  for (int i = 0; i < 100; ++i) {
+    items.push_back({false, Event::touch_ev(0x10000000 + i * 8192,
+                                            PageKind::small4k,
+                                            Access::load)});
+  }
+  const std::string bytes = encode(items);
+  // Every proper prefix must either throw or end the stream early — and a
+  // prefix that cuts the END marker must throw.
+  const std::string cut = bytes.substr(0, bytes.size() - 1);
+  ThreadDecoder dec(cut);
+  EXPECT_THROW(
+      {
+        while (true) {
+          if (dec.next().kind == ThreadDecoder::ItemKind::end) break;
+        }
+      },
+      TraceError);
+}
+
+TEST(TraceCodec, RepeatBeforeHistoryThrows) {
+  // A REPEAT record with no prior symbols is malformed.
+  std::string bytes;
+  bytes.push_back('\x00');  // REPEAT
+  put_varint(bytes, 1);     // period
+  put_varint(bytes, 5);     // count
+  bytes.push_back('\x02');  // END
+  ThreadDecoder dec(bytes);
+  EXPECT_THROW(dec.next(), TraceError);
+}
+
+// --- file container ---------------------------------------------------------
+
+Trace sample_trace() {
+  Trace trace;
+  trace.meta.kernel = "CG";
+  trace.meta.klass = "S";
+  trace.meta.threads = 2;
+  trace.meta.page_kind = PageKind::large2m;
+  trace.meta.platform = "opteron270";
+  trace.meta.code_page_kind = PageKind::small4k;
+  trace.meta.seed = 0x5eed;
+  trace.meta.verified = true;
+  trace.meta.checksum = 3.14159;
+  trace.meta.accesses = 123456;
+  for (unsigned t = 0; t < 2; ++t) {
+    ThreadEncoder enc;
+    for (int i = 0; i < 1000; ++i) {
+      enc.touch(0x10000000 + (t + 1) * i * 8, PageKind::large2m,
+                Access::load);
+    }
+    enc.segment();
+    enc.compute(42);
+    enc.segment();
+    enc.finish();
+    trace.streams.push_back(enc.take_bytes());
+  }
+  trace.boundaries = {sim::BoundaryKind::begin_parallel,
+                      sim::BoundaryKind::end_parallel};
+  return trace;
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace trace = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const Trace back = read_trace(ss);
+  EXPECT_EQ(back.meta, trace.meta);
+  EXPECT_EQ(back.streams, trace.streams);
+  EXPECT_EQ(back.boundaries, trace.boundaries);
+  EXPECT_EQ(back.key(), "CG.S/2T/2MB");
+}
+
+TEST(TraceIo, TruncationRejectedAtEveryLength) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  const std::string full = ss.str();
+  // Cut at a spread of byte offsets including the header, the metadata and
+  // the trailing checksum.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{9},
+                          std::size_t{20}, full.size() / 2, full.size() - 9,
+                          full.size() - 1}) {
+    std::stringstream damaged(full.substr(0, cut));
+    EXPECT_THROW(read_trace(damaged), TraceError) << "cut at " << cut;
+  }
+}
+
+TEST(TraceIo, CorruptionRejected) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  const std::string full = ss.str();
+
+  {  // bad magic
+    std::string bad = full;
+    bad[0] ^= 0x01;
+    std::stringstream is(bad);
+    EXPECT_THROW(read_trace(is), TraceError);
+  }
+  {  // unknown version
+    std::string bad = full;
+    bad[8] = static_cast<char>(0x7f);
+    std::stringstream is(bad);
+    EXPECT_THROW(read_trace(is), TraceError);
+  }
+  {  // payload bit flip → checksum mismatch (or a structural error)
+    std::string bad = full;
+    bad[full.size() / 2] ^= 0x10;
+    std::stringstream is(bad);
+    EXPECT_THROW(read_trace(is), TraceError);
+  }
+  {  // trailing garbage
+    std::string bad = full + "x";
+    std::stringstream is(bad);
+    EXPECT_THROW(read_trace(is), TraceError);
+  }
+}
+
+}  // namespace
+}  // namespace lpomp::trace

@@ -1,0 +1,214 @@
+// Replay-identity tests: the whole point of src/trace is that a replayed
+// trace reproduces the live run's profile bit-for-bit. These tests assert
+// that for every kernel, across page kinds, across platforms (a trace
+// recorded while simulating the Opteron replays into the exact Xeon
+// profile a live Xeon run produces), and across the full Figure 4 grid via
+// the engine's trace store.
+#include <gtest/gtest.h>
+
+#include "exec/engine.hpp"
+#include "npb/npb.hpp"
+#include "prof/profile.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+#include "trace/store.hpp"
+
+namespace lpomp {
+namespace {
+
+struct LiveRun {
+  npb::NpbResult result;
+  trace::Trace trace;
+};
+
+LiveRun record_live(npb::Kernel kernel, npb::Klass klass,
+                    const sim::ProcessorSpec& spec, unsigned threads,
+                    PageKind pages, PageKind code_pages = PageKind::small4k,
+                    std::uint64_t seed = 0x5eedULL) {
+  trace::TraceRecorder recorder(threads);
+  core::RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  cfg.page_kind = pages;
+  cfg.code_page_kind = code_pages;
+  cfg.sim = core::SimConfig{spec, sim::CostModel{}, seed};
+  cfg.trace_sink = &recorder;
+  LiveRun live;
+  live.result = npb::run_kernel(kernel, klass, cfg);
+
+  trace::TraceMeta meta;
+  meta.kernel = npb::kernel_name(kernel);
+  meta.klass = npb::klass_name(klass);
+  meta.threads = threads;
+  meta.page_kind = pages;
+  meta.platform = spec.name;
+  meta.code_page_kind = code_pages;
+  meta.seed = seed;
+  meta.verified = live.result.verified;
+  meta.checksum = live.result.checksum;
+  live.trace = recorder.finish(std::move(meta));
+  return live;
+}
+
+void expect_profiles_identical(const prof::ProfileReport& live,
+                               const prof::ProfileReport& replayed,
+                               const std::string& what) {
+  for (const char* event :
+       {prof::ProfileReport::kCycles, prof::ProfileReport::kAccesses,
+        prof::ProfileReport::kL1dMiss, prof::ProfileReport::kL2Miss,
+        prof::ProfileReport::kDtlbL1Miss, prof::ProfileReport::kDtlbWalk4k,
+        prof::ProfileReport::kDtlbWalk2m, prof::ProfileReport::kItlbMiss,
+        prof::ProfileReport::kWalkLevels, prof::ProfileReport::kLongStalls}) {
+    EXPECT_EQ(live.count(event), replayed.count(event))
+        << what << ": " << event;
+  }
+}
+
+TEST(TraceReplay, EveryKernelClassS) {
+  for (npb::Kernel kernel : npb::all_kernels()) {
+    for (PageKind pages : {PageKind::small4k, PageKind::large2m}) {
+      const sim::ProcessorSpec spec = sim::ProcessorSpec::opteron270();
+      const LiveRun live =
+          record_live(kernel, npb::Klass::S, spec, 4, pages);
+      ASSERT_TRUE(live.result.verified);
+      EXPECT_GT(live.trace.meta.accesses, 0u);
+
+      trace::ReplayDriver driver(trace::ReplayConfig{spec, {}, 0x5eedULL,
+                                                     PageKind::small4k});
+      const trace::ReplayOutcome out = driver.run(live.trace);
+      const std::string what = std::string(npb::kernel_name(kernel)) + "/" +
+                               page_kind_name(pages);
+      EXPECT_EQ(out.simulated_seconds, live.result.simulated_seconds) << what;
+      EXPECT_EQ(out.checksum, live.result.checksum) << what;
+      EXPECT_TRUE(out.verified) << what;
+      expect_profiles_identical(live.result.profile, out.profile, what);
+    }
+  }
+}
+
+// The stream does not depend on the simulated platform: a trace recorded
+// under the Opteron simulation replays into the exact profile of a live
+// Xeon run (different TLBs, caches, SMT model, seed and code pages).
+TEST(TraceReplay, CrossPlatformCrossSeed) {
+  const sim::ProcessorSpec opteron = sim::ProcessorSpec::opteron270();
+  const sim::ProcessorSpec xeon = sim::ProcessorSpec::xeon_ht();
+
+  const LiveRun recorded = record_live(npb::Kernel::CG, npb::Klass::S,
+                                       opteron, 4, PageKind::small4k);
+
+  const std::uint64_t seed = 0xabcdef;
+  const PageKind code_pages = PageKind::large2m;
+  core::RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  cfg.page_kind = PageKind::small4k;
+  cfg.code_page_kind = code_pages;
+  cfg.sim = core::SimConfig{xeon, sim::CostModel{}, seed};
+  const npb::NpbResult live_xeon =
+      npb::run_kernel(npb::Kernel::CG, npb::Klass::S, cfg);
+
+  trace::ReplayDriver driver(
+      trace::ReplayConfig{xeon, {}, seed, code_pages});
+  const trace::ReplayOutcome out = driver.run(recorded.trace);
+  EXPECT_EQ(out.simulated_seconds, live_xeon.simulated_seconds);
+  expect_profiles_identical(live_xeon.profile, out.profile, "CG on xeon");
+}
+
+// Acceptance grid: every Figure 4 task (class S) executed via the trace
+// store must be bit-identical to a forced live run — and the store must
+// actually have replayed (not just re-recorded) the repeat streams.
+TEST(TraceReplay, Figure4GridIdentity) {
+  exec::SweepSpec spec = exec::SweepSpec::figure4(npb::Klass::S);
+  spec.trace_backed = true;
+
+  trace::TraceStore store;
+  std::size_t replays = 0;
+  for (const exec::RunTask& task : spec.expand()) {
+    const exec::RunRecord via_store =
+        exec::ExperimentEngine::execute_task(task, &store);
+    exec::RunTask live_task = task;
+    live_task.trace_backed = false;
+    const exec::RunRecord live =
+        exec::ExperimentEngine::execute_task(live_task);
+    EXPECT_TRUE(live.same_result(via_store)) << task.label();
+    if (via_store.trace_source == "replay") ++replays;
+  }
+  // The grid has two platforms: at minimum the second platform's
+  // 1/2/4-thread points replay streams recorded on the first.
+  EXPECT_GT(replays, 0u);
+  EXPECT_GT(store.stats().hits, 0u);
+}
+
+// End-to-end through the engine: a trace-backed sweep equals a live sweep
+// record-for-record, and the engine's store served replays.
+TEST(TraceReplay, EngineSweepMatchesLive) {
+  exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 4);
+  spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
+  spec.platforms.push_back(sim::ProcessorSpec::xeon_ht());
+
+  spec.trace_backed = true;
+  exec::ExperimentEngine traced;
+  const exec::SweepResult with_traces = traced.run(spec);
+
+  spec.trace_backed = false;
+  exec::ExperimentEngine plain;
+  const exec::SweepResult live = plain.run(spec);
+
+  ASSERT_EQ(with_traces.records.size(), live.records.size());
+  for (std::size_t i = 0; i < live.records.size(); ++i) {
+    EXPECT_TRUE(live.records[i].same_result(with_traces.records[i]))
+        << live.records[i].kernel;
+    EXPECT_EQ(live.records[i].trace_source, "live");
+  }
+  const trace::TraceStore::Stats ts = traced.trace_store().stats();
+  EXPECT_GT(ts.hits, 0u);
+  // The engine releases each stream after its last use, so nothing stays
+  // resident once the sweep completes.
+  EXPECT_GT(ts.released, 0u);
+  EXPECT_EQ(ts.traces, 0u);
+  // Deterministic JSON must be identical across the two strategies;
+  // trace_source is host-only provenance.
+  EXPECT_EQ(with_traces.to_json(false), live.to_json(false));
+}
+
+// Store bookkeeping: erase() drops an entry (freeing its budget share)
+// without invalidating outstanding references, and is a no-op on misses.
+TEST(TraceStore, EraseReleasesEntry) {
+  const LiveRun live = record_live(npb::Kernel::CG, npb::Klass::S,
+                                   sim::ProcessorSpec::opteron270(), 2,
+                                   PageKind::small4k);
+  trace::TraceStore store;
+  const std::string key = live.trace.key();
+  store.insert(key, live.trace);
+  const std::shared_ptr<const trace::Trace> held = store.lookup(key);
+  ASSERT_NE(held, nullptr);
+
+  EXPECT_TRUE(store.erase(key));
+  EXPECT_FALSE(store.erase(key));
+  EXPECT_EQ(store.lookup(key), nullptr);
+  const trace::TraceStore::Stats ts = store.stats();
+  EXPECT_EQ(ts.traces, 0u);
+  EXPECT_EQ(ts.bytes, 0u);
+  EXPECT_EQ(ts.released, 1u);
+  // The evicted trace is still alive through the shared_ptr.
+  EXPECT_EQ(held->meta.kernel, "CG");
+  EXPECT_FALSE(held->streams.empty());
+}
+
+// Replay must reject traces that do not fit the platform instead of
+// crashing the simulator.
+TEST(TraceReplay, RejectsImpossibleReplay) {
+  const LiveRun live =
+      record_live(npb::Kernel::MG, npb::Klass::S,
+                  sim::ProcessorSpec::xeon_ht(), 8, PageKind::small4k);
+  trace::ReplayDriver driver(trace::ReplayConfig{
+      sim::ProcessorSpec::opteron270(), {}, 0x5eedULL, PageKind::small4k});
+  EXPECT_THROW(driver.run(live.trace), trace::TraceError);
+
+  trace::Trace broken = live.trace;
+  broken.streams.pop_back();
+  trace::ReplayDriver xeon_driver(trace::ReplayConfig{
+      sim::ProcessorSpec::xeon_ht(), {}, 0x5eedULL, PageKind::small4k});
+  EXPECT_THROW(xeon_driver.run(broken), trace::TraceError);
+}
+
+}  // namespace
+}  // namespace lpomp
