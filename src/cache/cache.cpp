@@ -22,22 +22,34 @@ Cache::Cache(std::string name, CacheGeometry geom)
   LPOMP_CHECK_MSG(std::has_single_bit(geom_.line_bytes),
                   "line size must be a power of two");
   line_shift_ = static_cast<std::size_t>(std::countr_zero(geom_.line_bytes));
-  set_mask_ = geom_.sets();  // used as modulus; sets need not be 2^k
+  sets_ = geom_.sets();  // sets need not be 2^k (modulo fallback below)
+  pow2_sets_ = std::has_single_bit(sets_);
+  set_mask_ = pow2_sets_ ? sets_ - 1 : 0;
   lines_.assign(geom_.lines(), Line{});
+  probe_.assign(kProbeSlots, 0);
 }
 
-bool Cache::access(vaddr_t addr, bool is_store) {
-  ++stats_.lookups;
-  if (is_store) ++stats_.store_lookups;
-
-  const std::uint64_t line_addr = addr >> line_shift_;
-  if (mru_valid_ && mru_line_ == line_addr) {
-    ++stats_.hits;
-    return true;
+bool Cache::access_assoc(std::uint64_t line_addr) {
+  // A verified hint is the associative hit without the scan: a valid line
+  // whose tag equals line_addr can only live in line_addr's set, and a set
+  // never holds duplicates, so the match is *the* cached copy.
+  const std::size_t slot =
+      static_cast<std::size_t>(line_addr) & (kProbeSlots - 1);
+  {
+    Line& h = lines_[probe_[slot]];
+    if (h.valid && h.tag == line_addr) {
+      h.last_use = ++clock_;
+      mru_line_ = line_addr;
+      mru_valid_ = true;
+      ++stats_.hits;
+      return true;
+    }
   }
 
-  const std::size_t set = static_cast<std::size_t>(line_addr % set_mask_);
-  Line* base = &lines_[set * geom_.ways];
+  const std::size_t set = static_cast<std::size_t>(
+      pow2_sets_ ? (line_addr & set_mask_) : (line_addr % sets_));
+  const std::size_t base_index = set * geom_.ways;
+  Line* base = &lines_[base_index];
 
   Line* victim = &base[0];
   for (unsigned w = 0; w < geom_.ways; ++w) {
@@ -46,6 +58,7 @@ bool Cache::access(vaddr_t addr, bool is_store) {
       l.last_use = ++clock_;
       mru_line_ = line_addr;
       mru_valid_ = true;
+      probe_[slot] = static_cast<std::uint32_t>(base_index + w);
       ++stats_.hits;
       return true;
     }
@@ -62,6 +75,8 @@ bool Cache::access(vaddr_t addr, bool is_store) {
   victim->last_use = ++clock_;
   mru_line_ = line_addr;
   mru_valid_ = true;
+  probe_[slot] =
+      static_cast<std::uint32_t>(base_index + static_cast<std::size_t>(victim - base));
   return false;
 }
 

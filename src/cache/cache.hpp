@@ -10,6 +10,13 @@
 // physically tagged, but with the simulator's eager 1:1 region mappings the
 // set-index distribution is equivalent, and virtual indexing avoids a page
 // walk per cache probe.
+//
+// Hot-path layout: access() is the single most-called function of the whole
+// simulator, so its MRU-filter check is inlined here and only the
+// associative search lives out of line. The search itself is fronted by a
+// direct-mapped probe table of line→slot hints; a verified hint performs
+// exactly the side effects of the associative hit (timestamp, MRU, stats),
+// so the hint table is invisible in every counter — it only skips the scan.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +52,33 @@ class Cache {
   /// Returns true on hit. A miss allocates the line (write-allocate for
   /// stores; write-back traffic is not modelled — the paper's effects are
   /// read-latency effects).
-  bool access(vaddr_t addr, bool is_store);
+  bool access(vaddr_t addr, bool is_store) {
+    ++stats_.lookups;
+    if (is_store) ++stats_.store_lookups;
+    const std::uint64_t line_addr = addr >> line_shift_;
+    if (mru_valid_ && mru_line_ == line_addr) {
+      ++stats_.hits;
+      return true;
+    }
+    return access_assoc(line_addr);
+  }
+
+  /// True when an access to `addr` would hit the 1-entry MRU filter (and is
+  /// therefore a guaranteed hit with no LRU side effects — the bulk fast
+  /// path's precondition).
+  bool mru_hit(vaddr_t addr) const {
+    return mru_valid_ && mru_line_ == (addr >> line_shift_);
+  }
+
+  /// Bulk accounting for `n` accesses the caller has proven would each hit
+  /// the MRU filter (mru_hit(addr) for every one). Identical to n access()
+  /// calls taking the filter path: stats only — the filter path neither
+  /// advances the LRU clock nor restamps the line.
+  void credit_mru_run(bool is_store, count_t n) {
+    stats_.lookups += n;
+    if (is_store) stats_.store_lookups += n;
+    stats_.hits += n;
+  }
 
   void flush();
 
@@ -73,15 +106,26 @@ class Cache {
     bool valid = false;
   };
 
+  /// The associative path of access(): probe-hint check, then set scan,
+  /// then allocation on miss. The lookup itself is already counted; a hit
+  /// here still owes ++hits (and, unlike the MRU path, stamps the line).
+  bool access_assoc(std::uint64_t line_addr);
+
   std::string name_;
   CacheGeometry geom_;
   std::size_t line_shift_;
-  std::size_t set_mask_;
+  std::size_t sets_;
+  std::size_t set_mask_;  ///< sets_ - 1 when sets_ is a power of two
+  bool pow2_sets_;
   std::vector<Line> lines_;  // sets() * ways, set-major
   std::uint64_t clock_ = 0;
   // MRU filter: repeated touches of the current line skip the set search.
   std::uint64_t mru_line_ = ~std::uint64_t{0};
   bool mru_valid_ = false;
+  // Direct-mapped slot hints (line_addr → index into lines_). Every hint is
+  // verified against the tag before use, so stale entries are harmless.
+  static constexpr std::size_t kProbeSlots = 2048;
+  std::vector<std::uint32_t> probe_;
   Stats stats_;
 };
 

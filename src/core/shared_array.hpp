@@ -52,6 +52,35 @@ class Accessor {
     if (sim_ != nullptr) sim_->touch(base_ + i * sizeof(T), kind_, access);
   }
 
+  /// Report `n` consecutive element accesses i, i+1, ... without touching
+  /// the host bytes — identical traffic to the loop of touch_only calls,
+  /// delivered to the simulator as one bulk run. Usable only when the loop
+  /// being replaced really is n consecutive touches of this array with
+  /// nothing else interleaved (event order is part of the model).
+  void touch_run_only(std::size_t i, std::size_t n, Access access) const {
+    if (sim_ == nullptr || n == 0) return;
+    if constexpr (sizeof(T) == sizeof(double)) {
+      sim_->touch_run(base_ + i * sizeof(T), n, kind_, access);
+    } else {
+      sim_->touch_strided(base_ + i * sizeof(T), n, sizeof(T), kind_, access);
+    }
+  }
+
+  /// Report `n` accesses starting at element i and advancing `stride_elems`
+  /// (possibly negative) elements per access — the strided analogue of
+  /// touch_run_only.
+  void touch_strided_only(std::size_t i, std::size_t n,
+                          std::int64_t stride_elems, Access access) const {
+    if (sim_ == nullptr || n == 0) return;
+    sim_->touch_strided(base_ + i * sizeof(T), n,
+                        stride_elems * static_cast<std::int64_t>(sizeof(T)),
+                        kind_, access);
+  }
+
+  /// Uninstrumented host pointer — for loops that pair one touch_run_only
+  /// with a tight arithmetic pass over the same elements.
+  T* host() const { return host_; }
+
   /// Charge `cycles` of pure compute alongside this thread's accesses.
   void compute(cycles_t cycles) const {
     if (sim_ != nullptr) sim_->add_compute(cycles);

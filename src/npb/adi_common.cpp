@@ -30,11 +30,13 @@ void compute_rhs(core::ThreadCtx& ctx, const AdiGrid& g, double sigma,
       for (int i = 0; i < n; ++i) {
         const auto c0 =
             static_cast<std::size_t>(g.elem(i, j, static_cast<int>(k), 0));
-        const double r0 = u.load(c0);
-        const double r1 = u.load(c0 + 1);
-        const double r2 = u.load(c0 + 2);
-        const double r3 = u.load(c0 + 3);
-        const double r4 = u.load(c0 + 4);
+        u.touch_run_only(c0, kNComp, Access::load);
+        const double* uc = u.host() + c0;
+        const double r0 = uc[0];
+        const double r1 = uc[1];
+        const double r2 = uc[2];
+        const double r3 = uc[3];
+        const double r4 = uc[4];
         const auto cc =
             static_cast<std::size_t>(g.cell(i, j, static_cast<int>(k)));
         const double inv = 1.0 / (1.0 + r0 * r0);
@@ -87,9 +89,12 @@ double field_norm2(core::ThreadCtx& ctx, const AdiGrid& g) {
   auto u = ctx.view(g.u);
   const core::StaticRange r = core::static_partition(
       0, g.cells() * kNComp, ctx.tid(), ctx.nthreads());
+  u.touch_run_only(static_cast<std::size_t>(r.begin),
+                   static_cast<std::size_t>(r.size()), Access::load);
+  const double* up = u.host();
   double local = 0.0;
   for (core::index_t e = r.begin; e < r.end; ++e) {
-    const double v = u.load(static_cast<std::size_t>(e));
+    const double v = up[static_cast<std::size_t>(e)];
     local += v * v;
   }
   ctx.compute(2 * r.size());

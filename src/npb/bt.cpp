@@ -120,8 +120,10 @@ void solve_line(ThreadCtx& ctx, const AdiGrid& g,
     double* Ai = A + static_cast<std::size_t>(i) * kBB;
     double* Bi = B + static_cast<std::size_t>(i) * kBB;
     double* Ci = C + static_cast<std::size_t>(i) * kBB;
+    u.touch_run_only(e, kB, Access::load);
+    const double* ue = u.host() + e;
     for (int r = 0; r < kB; ++r) {
-      const double ur = u.load(e + static_cast<std::size_t>(r));
+      const double ur = ue[r];
       for (int cidx = 0; cidx < kB; ++cidx) {
         const double mv =
             m[r * kB + cidx] + (r == cidx ? kEps * ur : 0.0);
@@ -149,7 +151,8 @@ void solve_line(ThreadCtx& ctx, const AdiGrid& g,
     const auto e = static_cast<std::size_t>(base + i * stride);
 
     double denom[kBB];
-    for (int q = 0; q < kB; ++q) vec[q] = rhs.load(e + static_cast<std::size_t>(q));
+    rhs.touch_run_only(e, kB, Access::load);
+    for (int q = 0; q < kB; ++q) vec[q] = rhs.host()[e + static_cast<std::size_t>(q)];
     if (i == 0) {
       for (int q = 0; q < kBB; ++q) denom[q] = Bi[q];
     } else {
@@ -191,7 +194,8 @@ void solve_line(ThreadCtx& ctx, const AdiGrid& g,
       for (int q = 0; q < kB; ++q) x[q] = Yi[q];
     } else {
       const auto en = static_cast<std::size_t>(base + (i + 1) * stride);
-      for (int q = 0; q < kB; ++q) vec[q] = rhs.load(en + static_cast<std::size_t>(q));
+      rhs.touch_run_only(en, kB, Access::load);
+      for (int q = 0; q < kB; ++q) vec[q] = rhs.host()[en + static_cast<std::size_t>(q)];
       mat_vec(vec2, Cpi, vec);
       for (int q = 0; q < kB; ++q) x[q] = Yi[q] - vec2[q];
       touch_span(sc, s0 + lay.cp + static_cast<std::size_t>(i) * kBB, kBB,
@@ -199,7 +203,8 @@ void solve_line(ThreadCtx& ctx, const AdiGrid& g,
     }
     touch_span(sc, s0 + lay.y + static_cast<std::size_t>(i) * kB, kB,
                Access::load);
-    for (int q = 0; q < kB; ++q) rhs.store(e + static_cast<std::size_t>(q), x[q]);
+    rhs.touch_run_only(e, kB, Access::store);
+    for (int q = 0; q < kB; ++q) rhs.host()[e + static_cast<std::size_t>(q)] = x[q];
     ctx.compute(2 * kBB);
   }
 }

@@ -91,9 +91,9 @@ void fft_line(ThreadCtx& ctx, core::SharedArray<Cpx>& scratch,
       sc.touch_only(base + static_cast<std::size_t>(i), Access::load);
       sc.touch_only(base + static_cast<std::size_t>(i), Access::store);
     }
-    for (int j = 0; j < half; j += 4) {
-      rv.touch_only(static_cast<std::size_t>(j) * root_stride, Access::load);
-    }
+    rv.touch_strided_only(0, (static_cast<std::size_t>(half) + 3) / 4,
+                          4 * static_cast<std::int64_t>(root_stride),
+                          Access::load);
     ctx.compute(5 * (len / 2) + 2 * len + half - (len / 2 + half / 4));
   }
 }
@@ -162,9 +162,12 @@ double energy(ThreadCtx& ctx, const SharedArray<Cpx>& field) {
   auto v = ctx.view(field);
   const core::StaticRange r = core::static_partition(
       0, static_cast<index_t>(field.size()), ctx.tid(), ctx.nthreads());
+  v.touch_run_only(static_cast<std::size_t>(r.begin),
+                   static_cast<std::size_t>(r.size()), Access::load);
+  const Cpx* fp = v.host();
   double local = 0.0;
   for (index_t i = r.begin; i < r.end; ++i) {
-    const Cpx c = v.load(static_cast<std::size_t>(i));
+    const Cpx c = fp[static_cast<std::size_t>(i)];
     local += c.re * c.re + c.im * c.im;
   }
   ctx.compute(3 * r.size());

@@ -138,10 +138,12 @@ void zero_u(ThreadCtx& ctx, const Level& lev) {
   const index_t s = n + 1;
   const core::StaticRange ks =
       core::static_partition(0, s, ctx.tid(), ctx.nthreads());
-  for (index_t k = ks.begin; k < ks.end; ++k) {
-    for (index_t off = k * s * s; off < (k + 1) * s * s; ++off) {
-      u.store(off, 0.0);
-    }
+  if (ks.size() > 0) {
+    const auto begin = static_cast<std::size_t>(ks.begin * s * s);
+    const auto count = static_cast<std::size_t>(ks.size() * s * s);
+    u.touch_run_only(begin, count, Access::store);
+    double* up = u.host();
+    for (std::size_t off = begin; off < begin + count; ++off) up[off] = 0.0;
   }
   ctx.barrier();
 }

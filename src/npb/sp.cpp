@@ -111,23 +111,28 @@ void solve_dim(ThreadCtx& ctx, const AdiGrid& g,
         double u1i = kA1, u2i = kE2;
         double l1i = kA1, l2i = kE2;
         double m2v = 0.0, m1v = 0.0;
+        const double* lp = v.lhs.host();
         if (i >= 2) {
           const auto L2 = static_cast<std::size_t>(c - 2 * rec) * kLhsComp;
-          m2v = l2i / v.lhs.load(L2 + kD);
-          l1i -= m2v * v.lhs.load(L2 + kU1);
-          di -= m2v * v.lhs.load(L2 + kU2);
+          v.lhs.touch_run_only(L2 + kD, 3, Access::load);
+          m2v = l2i / lp[L2 + kD];
+          l1i -= m2v * lp[L2 + kU1];
+          di -= m2v * lp[L2 + kU2];
         }
         if (i >= 1) {
           const auto L1 = static_cast<std::size_t>(c - rec) * kLhsComp;
-          m1v = l1i / v.lhs.load(L1 + kD);
-          di -= m1v * v.lhs.load(L1 + kU1);
-          u1i -= m1v * v.lhs.load(L1 + kU2);
+          v.lhs.touch_run_only(L1 + kD, 3, Access::load);
+          m1v = l1i / lp[L1 + kD];
+          di -= m1v * lp[L1 + kU1];
+          u1i -= m1v * lp[L1 + kU2];
         }
-        v.lhs.store(L + kD, di);
-        v.lhs.store(L + kU1, u1i);
-        v.lhs.store(L + kU2, u2i);
-        v.lhs.store(L + kM1, m1v);
-        v.lhs.store(L + kM2, m2v);
+        v.lhs.touch_run_only(L + kD, kLhsComp, Access::store);
+        double* lw = v.lhs.host();
+        lw[L + kD] = di;
+        lw[L + kU1] = u1i;
+        lw[L + kU2] = u2i;
+        lw[L + kM1] = m1v;
+        lw[L + kM2] = m2v;
         ctx.compute(8);
       },
       /*reverse=*/false, /*first_i=*/0);
@@ -164,9 +169,10 @@ void solve_dim(ThreadCtx& ctx, const AdiGrid& g,
         const auto cell = static_cast<std::size_t>(rbase + i * rec);
         const auto e = cell * kNComp;
         const auto L = cell * kLhsComp;
-        const double di = v.lhs.load(L + kD);
-        const double u1i = v.lhs.load(L + kU1);
-        const double u2i = v.lhs.load(L + kU2);
+        v.lhs.touch_run_only(L + kD, 3, Access::load);
+        const double di = v.lhs.host()[L + kD];
+        const double u1i = v.lhs.host()[L + kU1];
+        const double u2i = v.lhs.host()[L + kU2];
         for (int c = 0; c < kNComp; ++c) {
           double val = v.rhs.load(e + static_cast<std::size_t>(c));
           if (i + 1 < n) {

@@ -16,6 +16,7 @@ struct ReplaySlot {
   vaddr_t addr = 0;
   std::int64_t period_inc = 0;  ///< address advance per period
   std::uint64_t n = 0;          ///< touch/run: element count (touch = 1)
+  std::int64_t stride = 8;      ///< byte advance per element within a run
   cycles_t cycles = 0;          ///< compute slots only
   bool is_compute = false;
   PageKind page = PageKind::small4k;

@@ -54,11 +54,6 @@ ThreadSim::ThreadSim(const CostModel& cm, const mem::AddressSpace& space,
       contended_mem_stall_(cm.mem_stall),
       rng_(seed) {}
 
-void ThreadSim::touch(vaddr_t addr, PageKind kind, Access access) {
-  if (trace_ != nullptr) trace_->on_touch(trace_tid_, addr, kind, access);
-  touch_impl(addr, kind, access);
-}
-
 void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
   ThreadCounters& c = counters_;
   ++c.accesses;
@@ -164,12 +159,76 @@ bool ThreadSim::prefetcher_covers(std::uint64_t line_addr,
   return false;
 }
 
+void ThreadSim::run_elems(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                          PageKind kind, Access access) {
+  if (!fast_path_) {
+    // Reference configuration: the naive per-event loop, exactly as the
+    // entry points behaved before the fast path existed.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      touch_impl(addr + static_cast<vaddr_t>(static_cast<std::int64_t>(i) *
+                                             stride),
+                 kind, access);
+    }
+    return;
+  }
+
+  const bool is_store = access == Access::store;
+  std::uint64_t i = 0;
+  while (i < n) {
+    // Lead access of a line segment: full per-event semantics (TLB walk,
+    // cache fill, prefetcher, jump countdown — whatever applies).
+    const vaddr_t a =
+        addr + static_cast<vaddr_t>(static_cast<std::int64_t>(i) * stride);
+    account_one(a, kind, access);
+    ++i;
+    if (i >= n) break;
+
+    // Closed-form count of followers that stay on the lead's 64-byte line
+    // (the model hardwires 64-byte lines: see the addr >> 6 prefetcher
+    // probe). A 64-byte line never straddles a page, so same line implies
+    // same vpn.
+    std::uint64_t f;
+    if (stride == 0) {
+      f = n - i;
+    } else if (stride > 0) {
+      f = (63 - (a & 63)) / static_cast<std::uint64_t>(stride);
+    } else {
+      f = (a & 63) / (0 - static_cast<std::uint64_t>(stride));
+    }
+    if (f > n - i) f = n - i;
+    // The jump-triggering access must run through touch_impl; keep the bulk
+    // strictly before the countdown reaches zero.
+    if (jump_period_ != 0 && f >= until_jump_) f = until_jump_ - 1;
+    if (f == 0) continue;
+
+    // Both preconditions are checked before anything is applied, so a
+    // failed check costs nothing and the slow path resumes exactly where
+    // the bulk would have started.
+    if (!tlbs_.data_mru_hit(a >> page_shift(kind), kind) || !l1d_.mru_hit(a)) {
+      continue;
+    }
+    credit_line_run(f, kind, is_store);
+    i += f;
+  }
+}
+
 void ThreadSim::touch_run(vaddr_t addr, std::size_t n, PageKind kind,
                           Access access) {
   if (trace_ != nullptr) trace_->on_touch_run(trace_tid_, addr, n, kind, access);
-  for (std::size_t i = 0; i < n; ++i) {
-    touch_impl(addr + i * sizeof(double), kind, access);
+  run_elems(addr, n, sizeof(double), kind, access);
+}
+
+void ThreadSim::touch_strided(vaddr_t addr, std::size_t n,
+                              std::int64_t stride_bytes, PageKind kind,
+                              Access access) {
+  if (stride_bytes == sizeof(double)) {
+    touch_run(addr, n, kind, access);
+    return;
   }
+  if (trace_ != nullptr) {
+    trace_->on_touch_strided(trace_tid_, addr, n, stride_bytes, kind, access);
+  }
+  run_elems(addr, n, stride_bytes, kind, access);
 }
 
 void ThreadSim::replay_pattern(ReplaySlot* slots, std::size_t count,
@@ -179,18 +238,23 @@ void ThreadSim::replay_pattern(ReplaySlot* slots, std::size_t count,
   // would force are a measurable per-event cost. Single touches (n == 1) are
   // the dominant slot shape, so they skip the element loop; single-period
   // batches (literal stretches of a poorly compressing stream) also skip the
-  // per-period address writeback.
+  // per-period address writeback. An attached sink (re-recording a replay)
+  // sees each slot with live framing: one run/strided event, not n singles.
   if (periods == 1) {
     for (std::size_t j = 0; j < count; ++j) {
       const ReplaySlot s = slots[j];
       if (s.is_compute) {
+        if (trace_ != nullptr) trace_->on_compute(trace_tid_, s.cycles);
         counters_.exec_cycles += s.cycles;
       } else if (s.n == 1) {
-        touch_impl(s.addr, s.page, s.access);
-      } else {
-        for (std::uint64_t i = 0; i < s.n; ++i) {
-          touch_impl(s.addr + i * sizeof(double), s.page, s.access);
+        if (trace_ != nullptr) {
+          trace_->on_touch(trace_tid_, s.addr, s.page, s.access);
         }
+        account_one(s.addr, s.page, s.access);
+      } else if (s.stride == sizeof(double)) {
+        touch_run(s.addr, s.n, s.page, s.access);
+      } else {
+        touch_strided(s.addr, s.n, s.stride, s.page, s.access);
       }
     }
     return;
@@ -199,15 +263,19 @@ void ThreadSim::replay_pattern(ReplaySlot* slots, std::size_t count,
     for (std::size_t j = 0; j < count; ++j) {
       const ReplaySlot s = slots[j];
       if (s.is_compute) {
+        if (trace_ != nullptr) trace_->on_compute(trace_tid_, s.cycles);
         counters_.exec_cycles += s.cycles;
         continue;
       }
       if (s.n == 1) {
-        touch_impl(s.addr, s.page, s.access);
-      } else {
-        for (std::uint64_t i = 0; i < s.n; ++i) {
-          touch_impl(s.addr + i * sizeof(double), s.page, s.access);
+        if (trace_ != nullptr) {
+          trace_->on_touch(trace_tid_, s.addr, s.page, s.access);
         }
+        account_one(s.addr, s.page, s.access);
+      } else if (s.stride == sizeof(double)) {
+        touch_run(s.addr, s.n, s.page, s.access);
+      } else {
+        touch_strided(s.addr, s.n, s.stride, s.page, s.access);
       }
       slots[j].addr = s.addr + static_cast<vaddr_t>(s.period_inc);
     }

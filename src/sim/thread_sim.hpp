@@ -8,6 +8,17 @@
 // first-order model of destructive interference keeps each thread's
 // accounting independent of host scheduling, so every figure regenerates
 // deterministically.
+//
+// Fast path (DESIGN.md §7): touch/touch_run/touch_strided batch the
+// accesses of a cache-line segment into closed-form bulk updates whenever
+// the per-event outcome is *provably* the L1-TLB-MRU-hit + L1-cache-MRU-hit
+// case with no pending instruction jump. The bulk update is constructed to
+// be bit-identical to issuing the events one at a time — every ProfileReport
+// counter is a paper-facing result, so the fast path is only legal because
+// tests/oracle's differential harness proves counter-for-counter equality
+// against a naive single-step reference simulator. set_fast_path(false)
+// degrades every entry point to the per-event touch_impl loop (the
+// reference configuration used for golden generation and the oracle).
 #pragma once
 
 #include "cache/cache.hpp"
@@ -62,11 +73,21 @@ class ThreadSim {
 
   /// Account one data access to simulated address `addr`, living in a region
   /// backed by pages of `kind`.
-  void touch(vaddr_t addr, PageKind kind, Access access);
+  void touch(vaddr_t addr, PageKind kind, Access access) {
+    if (trace_ != nullptr) trace_->on_touch(trace_tid_, addr, kind, access);
+    account_one(addr, kind, access);
+  }
 
   /// Account `n` sequential 8-byte element accesses starting at `addr`
   /// (fast path for unit-stride loops; semantically identical to n touches).
   void touch_run(vaddr_t addr, std::size_t n, PageKind kind, Access access);
+
+  /// Account `n` accesses starting at `addr` and advancing `stride_bytes`
+  /// (possibly negative or zero) per element — semantically identical to the
+  /// loop of n touches. stride_bytes == 8 is canonicalised to touch_run so
+  /// the trace framing of unit-stride runs is unique.
+  void touch_strided(vaddr_t addr, std::size_t n, std::int64_t stride_bytes,
+                     PageKind kind, Access access);
 
   /// Charge pure compute work (FP arithmetic etc.) that does not touch memory.
   void add_compute(cycles_t cycles) {
@@ -77,8 +98,9 @@ class ThreadSim {
   /// Drive `periods` repetitions of a periodic pattern through the machine
   /// model — semantically identical to issuing every touch/run/compute
   /// individually, without the per-event call overhead. Mutates the slots'
-  /// addresses in place. Replay support: events are NOT reported to an
-  /// attached trace sink.
+  /// addresses in place. An attached trace sink observes the same events,
+  /// with the same framing, a live run issuing these slots would report —
+  /// re-recording a replay reproduces the original stream.
   void replay_pattern(ReplaySlot* slots, std::size_t count,
                       std::uint64_t periods);
 
@@ -103,6 +125,19 @@ class ThreadSim {
     contended_mem_stall_ = cm_->contended_mem_stall(n);
   }
 
+  /// Enable/disable the batched fast path on this thread. Off = the naive
+  /// per-event reference configuration: every entry point degrades to a
+  /// touch_impl loop. Counters are identical either way (the invariant the
+  /// differential oracle enforces); only wall-clock speed differs.
+  void set_fast_path(bool on) { fast_path_ = on; }
+  bool fast_path() const { return fast_path_; }
+
+  /// Process-wide default for newly constructed ThreadSims (read once in
+  /// the constructor). Lets tests and golden generation put whole Machines —
+  /// built deep inside the Runtime/engine stack — into reference mode.
+  static void set_default_fast_path(bool on) { default_fast_path_ = on; }
+  static bool default_fast_path() { return default_fast_path_; }
+
   const ThreadCounters& counters() const { return counters_; }
 
   tlb::TlbHierarchy& tlbs() { return tlbs_; }
@@ -114,6 +149,43 @@ class ThreadSim {
   /// reporting on top (touch_run reports one run event, then accounts each
   /// element through here so the machine-model behaviour is unchanged).
   void touch_impl(vaddr_t addr, PageKind kind, Access access);
+
+  /// One access with the single-event fast path: when the L1 DTLB MRU and
+  /// L1 cache MRU both cover `addr` and no instruction jump is due, the
+  /// whole touch_impl reduces to the closed-form credit below (proof: the
+  /// TLB MRU hit returns DtlbHit::l1, the cache MRU hit returns true, no
+  /// long stall, and the jump counter just decrements).
+  void account_one(vaddr_t addr, PageKind kind, Access access) {
+    if (fast_path_ && (jump_period_ == 0 || until_jump_ > 1) &&
+        tlbs_.data_mru_hit(addr >> page_shift(kind), kind) &&
+        l1d_.mru_hit(addr)) {
+      credit_line_run(1, kind, access == Access::store);
+      return;
+    }
+    touch_impl(addr, kind, access);
+  }
+
+  /// Closed-form accounting for `n` accesses that are each a guaranteed
+  /// L1-TLB-MRU + L1-cache-MRU hit with no jump firing (caller-checked
+  /// preconditions, including n ≤ until_jump_ - 1 when the code model is
+  /// on). Bit-identical to n touch_impl calls taking that path.
+  void credit_line_run(count_t n, PageKind kind, bool is_store) {
+    counters_.accesses += n;
+    if (is_store) counters_.stores += n;
+    counters_.exec_cycles += n * cm_->exec_per_access;
+    counters_.stall_cycles += n * cm_->l1_hit_stall;
+    tlbs_.credit_data_mru_run(kind, n);
+    l1d_.credit_mru_run(is_store, n);
+    if (jump_period_ != 0) until_jump_ -= n;
+  }
+
+  /// Shared body of touch_run/touch_strided/replay slots: `n` accesses at
+  /// `addr`, `addr + stride`, ... Leads each cache-line segment through
+  /// account_one, then bulk-credits the followers that provably stay on the
+  /// lead's line (falling back per event at every line/page boundary, MRU
+  /// transition, or jump point).
+  void run_elems(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                 PageKind kind, Access access);
 
   void instruction_jump();
 
@@ -153,6 +225,9 @@ class ThreadSim {
 
   TraceSink* trace_ = nullptr;
   unsigned trace_tid_ = 0;
+
+  bool fast_path_ = default_fast_path_;
+  inline static bool default_fast_path_ = true;
 
   Rng rng_;
   ThreadCounters counters_;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "support/types.hpp"
 
@@ -45,6 +46,13 @@ class TraceSink {
   /// One ThreadSim::touch_run (n sequential 8-byte element accesses).
   virtual void on_touch_run(unsigned tid, vaddr_t addr, std::size_t n,
                             PageKind kind, Access access) = 0;
+
+  /// One ThreadSim::touch_strided (n accesses advancing `stride_bytes` per
+  /// element; never reported with stride_bytes == 8 — that framing is
+  /// canonicalised to on_touch_run).
+  virtual void on_touch_strided(unsigned tid, vaddr_t addr, std::size_t n,
+                                std::int64_t stride_bytes, PageKind kind,
+                                Access access) = 0;
 
   /// One ThreadSim::add_compute charge.
   virtual void on_compute(unsigned tid, cycles_t cycles) = 0;

@@ -1,5 +1,7 @@
 #include "tlb/tlb.hpp"
 
+#include <bit>
+
 namespace lpomp::tlb {
 
 Tlb::Tlb(Config config) : config_(std::move(config)) {
@@ -9,32 +11,35 @@ Tlb::Tlb(Config config) : config_(std::move(config)) {
       LPOMP_CHECK_MSG(geom.ways > 0 && geom.entries % geom.ways == 0,
                       "TLB entries must divide evenly into ways");
       b.entries.assign(geom.entries, Entry{});
+      b.sets = geom.sets();
+      b.pow2_sets = std::has_single_bit(b.sets);
+      b.set_mask = b.pow2_sets ? b.sets - 1 : 0;
     }
   };
   init_bank(bank4k_, config_.small4k);
   init_bank(bank2m_, config_.large2m);
 }
 
-bool Tlb::lookup(vpn_t vpn, PageKind kind) {
-  Bank& b = bank(kind);
-  const auto i = static_cast<std::size_t>(kind);
-  ++stats_.lookups[i];
+bool Tlb::lookup_assoc(Bank& b, vpn_t vpn) {
   if (!b.geom.present()) return false;
-  const bool hit = lookup_in(b, vpn);
-  if (hit) ++stats_.hits[i];
-  return hit;
-}
 
-bool Tlb::lookup_in(Bank& b, vpn_t vpn) {
-  if (b.mru_valid && b.mru_vpn == vpn) {
-    // Bypass hit still counts as a use, so the timestamp invariant holds
-    // unconditionally (see the Bank comment in the header).
-    b.entries[b.mru_index].last_use = ++clock_;
-    return true;
+  // Probe hint: a valid entry holding vpn can only live in vpn's set, and a
+  // set never holds duplicates, so a verified hint is the hit itself.
+  const std::size_t slot =
+      static_cast<std::size_t>(vpn) & (Bank::kProbeSlots - 1);
+  {
+    Entry& h = b.entries[b.probe[slot]];
+    if (h.valid && h.vpn == vpn) {
+      h.last_use = ++clock_;
+      b.mru_vpn = vpn;
+      b.mru_index = static_cast<std::size_t>(b.probe[slot]);
+      b.mru_valid = true;
+      return true;
+    }
   }
 
-  const unsigned sets = b.geom.sets();
-  const unsigned set = static_cast<unsigned>(vpn % sets);
+  const unsigned set = static_cast<unsigned>(
+      b.pow2_sets ? (vpn & b.set_mask) : (vpn % b.sets));
   const std::size_t base_index = static_cast<std::size_t>(set) * b.geom.ways;
   Entry* base = &b.entries[base_index];
   for (unsigned w = 0; w < b.geom.ways; ++w) {
@@ -44,6 +49,7 @@ bool Tlb::lookup_in(Bank& b, vpn_t vpn) {
       b.mru_vpn = vpn;
       b.mru_index = base_index + w;
       b.mru_valid = true;
+      b.probe[slot] = static_cast<std::uint32_t>(base_index + w);
       return true;
     }
   }
@@ -57,8 +63,8 @@ void Tlb::insert(vpn_t vpn, PageKind kind) {
 }
 
 void Tlb::insert_in(Bank& b, vpn_t vpn) {
-  const unsigned sets = b.geom.sets();
-  const unsigned set = static_cast<unsigned>(vpn % sets);
+  const unsigned set = static_cast<unsigned>(
+      b.pow2_sets ? (vpn & b.set_mask) : (vpn % b.sets));
   const std::size_t base_index = static_cast<std::size_t>(set) * b.geom.ways;
   Entry* base = &b.entries[base_index];
 
@@ -83,10 +89,12 @@ void Tlb::insert_in(Bank& b, vpn_t vpn) {
   b.mru_vpn = vpn;
   b.mru_index = base_index + static_cast<std::size_t>(victim - base);
   b.mru_valid = true;
+  b.probe[static_cast<std::size_t>(vpn) & (Bank::kProbeSlots - 1)] =
+      static_cast<std::uint32_t>(b.mru_index);
 }
 
 unsigned Tlb::occupancy(PageKind kind) const {
-  const Bank& b = kind == PageKind::small4k ? bank4k_ : bank2m_;
+  const Bank& b = bank(kind);
   unsigned n = 0;
   for (const Entry& e : b.entries) n += e.valid ? 1 : 0;
   return n;

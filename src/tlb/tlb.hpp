@@ -6,8 +6,15 @@
 // asymmetry is the crux of §3.2 "Application Locality and Large Pages", so
 // the model keeps one set-associative structure per page kind, each with
 // true-LRU replacement within a set.
+//
+// Hot-path layout mirrors cache::Cache: lookup()'s MRU-filter check is
+// inlined, the associative search is out of line behind a direct-mapped
+// probe table of vpn→entry hints (verified before use, so hints never
+// change an outcome — every hit they serve performs exactly the associative
+// hit's side effects).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,7 +80,43 @@ class Tlb {
   }
 
   /// Probe for a translation. A hit refreshes LRU state.
-  bool lookup(vpn_t vpn, PageKind kind);
+  bool lookup(vpn_t vpn, PageKind kind) {
+    Bank& b = bank(kind);
+    const auto i = static_cast<std::size_t>(kind);
+    ++stats_.lookups[i];
+    if (b.mru_valid && b.mru_vpn == vpn) {
+      // Bypass hit still counts as a use, so the timestamp invariant holds
+      // unconditionally (see the Bank comment below).
+      b.entries[b.mru_index].last_use = ++clock_;
+      ++stats_.hits[i];
+      return true;
+    }
+    if (lookup_assoc(b, vpn)) {
+      ++stats_.hits[i];
+      return true;
+    }
+    return false;
+  }
+
+  /// True when a lookup of `vpn` would hit the bank's 1-entry MRU filter —
+  /// the bulk fast path's precondition for a guaranteed hit.
+  bool mru_hit(vpn_t vpn, PageKind kind) const {
+    const Bank& b = bank(kind);
+    return b.mru_valid && b.mru_vpn == vpn;
+  }
+
+  /// Bulk accounting for `n` lookups the caller has proven would each hit
+  /// the MRU filter. Identical to n lookup() calls taking the bypass path:
+  /// each stamps last_use = ++clock_, so the final state is the clock
+  /// advanced by n with the MRU entry stamped at the final value.
+  void credit_mru_run(PageKind kind, count_t n) {
+    Bank& b = bank(kind);
+    const auto i = static_cast<std::size_t>(kind);
+    stats_.lookups[i] += n;
+    stats_.hits[i] += n;
+    clock_ += n;
+    b.entries[b.mru_index].last_use = clock_;
+  }
 
   /// Install a translation (evicting the set's LRU victim if full).
   /// No-op if the level has no entries for this kind.
@@ -116,6 +159,9 @@ class Tlb {
   struct Bank {
     TlbGeometry geom;
     std::vector<Entry> entries;  // sets() * ways, set-major
+    unsigned sets = 0;       ///< cached geom.sets() (0 when not present)
+    vpn_t set_mask = 0;      ///< sets - 1 when sets is a power of two
+    bool pow2_sets = false;
     // 1-entry MRU filter: re-touching the most recent translation is a
     // guaranteed hit and can bypass the associative search. The bypass
     // refreshes the entry's timestamp through mru_index (O(1)), keeping the
@@ -126,13 +172,19 @@ class Tlb {
     vpn_t mru_vpn = ~vpn_t{0};
     std::size_t mru_index = 0;
     bool mru_valid = false;
+    // Direct-mapped entry hints (vpn → index), verified before use.
+    static constexpr std::size_t kProbeSlots = 256;
+    std::array<std::uint32_t, kProbeSlots> probe{};
   };
 
   Bank& bank(PageKind kind) {
     return kind == PageKind::small4k ? bank4k_ : bank2m_;
   }
+  const Bank& bank(PageKind kind) const {
+    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+  }
 
-  bool lookup_in(Bank& b, vpn_t vpn);
+  bool lookup_assoc(Bank& b, vpn_t vpn);
   void insert_in(Bank& b, vpn_t vpn);
 
   Config config_;

@@ -8,9 +8,7 @@ TlbHierarchy::TlbHierarchy(Tlb::Config itlb, Tlb::Config l1d,
   if (l2d) l2d_.emplace(std::move(*l2d));
 }
 
-DtlbHit TlbHierarchy::data_access(vpn_t vpn, PageKind kind) {
-  if (l1d_.lookup(vpn, kind)) return DtlbHit::l1;
-
+DtlbHit TlbHierarchy::data_access_miss(vpn_t vpn, PageKind kind) {
   if (l2d_ && l2d_->supports(kind) && l2d_->lookup(vpn, kind)) {
     l1d_.insert(vpn, kind);  // refill L1 from L2
     return DtlbHit::l2;

@@ -12,6 +12,7 @@ constexpr std::uint8_t kOpSegment = 0x01;
 constexpr std::uint8_t kOpEnd = 0x02;
 constexpr std::uint8_t kOpCompute = 0x03;
 constexpr std::uint8_t kOpRun = 0x04;
+constexpr std::uint8_t kOpStrided = 0x05;
 constexpr std::uint8_t kOpTouchBit = 0x40;
 
 constexpr std::uint8_t pack_flags(unsigned head, PageKind kind,
@@ -118,6 +119,24 @@ void ThreadEncoder::touch_run_slow(vaddr_t addr, std::uint64_t n,
   push(s);
 }
 
+void ThreadEncoder::touch_strided_slow(vaddr_t addr, std::uint64_t n,
+                                       std::int64_t stride, PageKind kind,
+                                       Access access) {
+  const unsigned h = pick_head(addr);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(heads_[h]);
+  heads_[h] = addr + static_cast<vaddr_t>(
+                         n > 0 ? static_cast<std::int64_t>(n - 1) * stride
+                               : 0);
+  Symbol s;
+  s.tag = kOpStrided;
+  s.flags = pack_flags(h, kind, access);
+  s.delta = delta;
+  s.arg = n;
+  s.stride = stride;
+  push(s);
+}
+
 void ThreadEncoder::compute_slow(cycles_t cycles) {
   Symbol s;
   s.tag = kOpCompute;
@@ -153,6 +172,7 @@ void ThreadEncoder::push(const Symbol& s) {
   const std::uint64_t key =
       mix64((static_cast<std::uint64_t>(s.delta) * 0x9e3779b97f4a7c15ULL) ^
             (s.arg * 0xbf58476d1ce4e5b9ULL) ^
+            (static_cast<std::uint64_t>(s.stride) * 0x94d049bb133111ebULL) ^
             (static_cast<std::uint64_t>(s.tag) << 8 | s.flags));
   const HashSlot& slot = last_pos_[key % kHashSlots];
   if (slot.key == key && slot.pos != ~std::uint64_t{0}) {
@@ -208,7 +228,7 @@ void ThreadEncoder::close_repeat_window() {
     const Symbol& s = period_buf_[j];
     if ((s.tag & kOpTouchBit) != 0) {
       head_used_[(s.tag >> 3) & 0x7] = ++tick_;
-    } else if (s.tag == kOpRun) {
+    } else if (s.tag == kOpRun || s.tag == kOpStrided) {
       head_used_[(s.flags >> 3) & 0x7] = ++tick_;
     }
   }
@@ -231,6 +251,12 @@ void ThreadEncoder::emit(const Symbol& s) {
     out_.push_back(static_cast<char>(s.flags));
     put_varint(out_, zigzag(s.delta));
     put_varint(out_, s.arg);
+  } else if (s.tag == kOpStrided) {
+    out_.push_back(static_cast<char>(kOpStrided));
+    out_.push_back(static_cast<char>(s.flags));
+    put_varint(out_, zigzag(s.delta));
+    put_varint(out_, s.arg);
+    put_varint(out_, zigzag(s.stride));
   } else {  // compute
     out_.push_back(static_cast<char>(kOpCompute));
     put_varint(out_, s.arg);
@@ -255,8 +281,10 @@ void ThreadEncoder::flush_repeat() {
 // --- ThreadDecoder ----------------------------------------------------------
 
 Event ThreadDecoder::apply(std::uint8_t tag, std::uint8_t flags,
-                           std::int64_t delta, std::uint64_t arg) {
-  ring_[ring_len_ % ThreadEncoder::kRing] = RingSymbol{tag, flags, delta, arg};
+                           std::int64_t delta, std::uint64_t arg,
+                           std::int64_t stride) {
+  ring_[ring_len_ % ThreadEncoder::kRing] =
+      RingSymbol{tag, flags, delta, arg, stride};
   ++ring_len_;
   if (tag == kOpCompute) return Event::compute_ev(arg);
 
@@ -270,6 +298,14 @@ Event ThreadDecoder::apply(std::uint8_t tag, std::uint8_t flags,
     heads_[h] = addr + (arg > 0 ? (arg - 1) * sizeof(double) : 0);
     return Event::run_ev(addr, arg, flags_kind(f), flags_access(f));
   }
+  if (tag == kOpStrided) {
+    heads_[h] = addr + static_cast<vaddr_t>(
+                           arg > 0
+                               ? static_cast<std::int64_t>(arg - 1) * stride
+                               : 0);
+    return Event::strided_ev(addr, arg, stride, flags_kind(f),
+                             flags_access(f));
+  }
   heads_[h] = addr;
   return Event::touch_ev(addr, flags_kind(f), flags_access(f));
 }
@@ -281,7 +317,8 @@ ThreadDecoder::Item ThreadDecoder::next() {
     --repeat_remaining_;
     const RingSymbol s = ring_[(ring_len_ - repeat_period_) %
                                ThreadEncoder::kRing];
-    return Item{ItemKind::event, apply(s.tag, s.flags, s.delta, s.arg)};
+    return Item{ItemKind::event,
+                apply(s.tag, s.flags, s.delta, s.arg, s.stride)};
   }
 
   while (true) {
@@ -292,7 +329,7 @@ ThreadDecoder::Item ThreadDecoder::next() {
 
     if ((op & kOpTouchBit) != 0) {
       const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
-      return Item{ItemKind::event, apply(op, 0, delta, 0)};
+      return Item{ItemKind::event, apply(op, 0, delta, 0, 0)};
     }
     switch (op) {
       case kOpRepeat: {
@@ -304,7 +341,8 @@ ThreadDecoder::Item ThreadDecoder::next() {
         repeat_period_ = p;
         repeat_remaining_ = n - 1;
         const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
-        return Item{ItemKind::event, apply(s.tag, s.flags, s.delta, s.arg)};
+        return Item{ItemKind::event,
+                    apply(s.tag, s.flags, s.delta, s.arg, s.stride)};
       }
       case kOpSegment:
         return Item{ItemKind::segment, Event{}};
@@ -316,14 +354,25 @@ ThreadDecoder::Item ThreadDecoder::next() {
         return Item{ItemKind::end, Event{}};
       case kOpCompute: {
         const std::uint64_t cycles = get_varint(bytes_, &pos_);
-        return Item{ItemKind::event, apply(kOpCompute, 0, 0, cycles)};
+        return Item{ItemKind::event, apply(kOpCompute, 0, 0, cycles, 0)};
       }
       case kOpRun: {
         if (pos_ >= bytes_.size()) throw TraceError("trace: truncated run");
         const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
         const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
         const std::uint64_t n = get_varint(bytes_, &pos_);
-        return Item{ItemKind::event, apply(kOpRun, flags, delta, n)};
+        return Item{ItemKind::event, apply(kOpRun, flags, delta, n, 8)};
+      }
+      case kOpStrided: {
+        if (pos_ >= bytes_.size()) {
+          throw TraceError("trace: truncated strided run");
+        }
+        const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
+        const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+        const std::uint64_t n = get_varint(bytes_, &pos_);
+        const std::int64_t stride = unzigzag(get_varint(bytes_, &pos_));
+        return Item{ItemKind::event, apply(kOpStrided, flags, delta, n,
+                                           stride)};
       }
       default:
         throw TraceError("trace: unknown opcode " + std::to_string(op));
@@ -338,7 +387,8 @@ void ThreadDecoder::append_slot(Block& out, const Event& ev) {
     slot.cycles = ev.arg;
   } else {
     slot.addr = ev.addr;
-    slot.n = ev.kind == Event::Kind::run ? ev.arg : 1;
+    slot.n = ev.kind == Event::Kind::touch ? 1 : ev.arg;
+    slot.stride = ev.stride;
     slot.page = ev.page;
     slot.access = ev.access;
   }
@@ -359,7 +409,7 @@ bool ThreadDecoder::next_block(Block& out) {
     for (std::uint64_t i = 0; i < r; ++i) {
       const RingSymbol s = ring_[(ring_len_ - repeat_period_) %
                                  ThreadEncoder::kRing];
-      append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+      append_slot(out, apply(s.tag, s.flags, s.delta, s.arg, s.stride));
     }
     out.kind = Block::Kind::pattern;
     return true;
@@ -376,7 +426,7 @@ bool ThreadDecoder::next_block(Block& out) {
 
     if ((op & kOpTouchBit) != 0) {
       const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
-      append_slot(out, apply(op, 0, delta, 0));
+      append_slot(out, apply(op, 0, delta, 0, 0));
       if (out.pattern.size() >= kBatchSlots) {
         out.kind = Block::Kind::pattern;
         return true;
@@ -385,7 +435,7 @@ bool ThreadDecoder::next_block(Block& out) {
     }
     if (op == kOpCompute) {
       const std::uint64_t cycles = get_varint(bytes_, &pos_);
-      append_slot(out, apply(kOpCompute, 0, 0, cycles));
+      append_slot(out, apply(kOpCompute, 0, 0, cycles, 0));
       if (out.pattern.size() >= kBatchSlots) {
         out.kind = Block::Kind::pattern;
         return true;
@@ -397,7 +447,22 @@ bool ThreadDecoder::next_block(Block& out) {
       const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
       const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
       const std::uint64_t n = get_varint(bytes_, &pos_);
-      append_slot(out, apply(kOpRun, flags, delta, n));
+      append_slot(out, apply(kOpRun, flags, delta, n, 8));
+      if (out.pattern.size() >= kBatchSlots) {
+        out.kind = Block::Kind::pattern;
+        return true;
+      }
+      continue;
+    }
+    if (op == kOpStrided) {
+      if (pos_ >= bytes_.size()) {
+        throw TraceError("trace: truncated strided run");
+      }
+      const std::uint8_t flags = static_cast<std::uint8_t>(bytes_[pos_++]);
+      const std::int64_t delta = unzigzag(get_varint(bytes_, &pos_));
+      const std::uint64_t n = get_varint(bytes_, &pos_);
+      const std::int64_t stride = unzigzag(get_varint(bytes_, &pos_));
+      append_slot(out, apply(kOpStrided, flags, delta, n, stride));
       if (out.pattern.size() >= kBatchSlots) {
         out.kind = Block::Kind::pattern;
         return true;
@@ -426,7 +491,7 @@ bool ThreadDecoder::next_block(Block& out) {
           repeat_period_ = p;
           for (std::uint64_t i = 0; i < n; ++i) {
             const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
-            append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+            append_slot(out, apply(s.tag, s.flags, s.delta, s.arg, s.stride));
           }
           out.kind = Block::Kind::pattern;
           return true;
@@ -444,7 +509,7 @@ bool ThreadDecoder::next_block(Block& out) {
       for (std::uint64_t j = 0; j < p; ++j) {
         const RingSymbol s = ring_[(ring_len_ - p) % ThreadEncoder::kRing];
         period_syms[j] = s;
-        append_slot(out, apply(s.tag, s.flags, s.delta, s.arg));
+        append_slot(out, apply(s.tag, s.flags, s.delta, s.arg, s.stride));
       }
       std::array<std::int64_t, ThreadEncoder::kHeads> inc;
       for (unsigned h = 0; h < ThreadEncoder::kHeads; ++h) {

@@ -25,6 +25,9 @@
 //   0x02                END      (end of this thread's stream)
 //   0x03                COMPUTE  varint cycles
 //   0x04                RUN      flags byte, zigzag delta, varint n
+//   0x05                STRIDED  flags byte, zigzag delta, varint n,
+//                                zigzag stride_bytes   (never 8 on the wire —
+//                                unit stride is canonicalised to RUN)
 //   0x40|head<<3|k<<2|a TOUCH    zigzag delta          (head 0..7, kind, acc)
 #pragma once
 
@@ -50,13 +53,15 @@ class TraceError : public std::runtime_error {
 
 /// One decoded stream event, exactly as recorded.
 struct Event {
-  enum class Kind : std::uint8_t { touch = 0, run = 1, compute = 2 };
+  enum class Kind : std::uint8_t { touch = 0, run = 1, compute = 2,
+                                   strided = 3 };
 
   Kind kind = Kind::touch;
   PageKind page = PageKind::small4k;
   Access access = Access::load;
-  vaddr_t addr = 0;       ///< touch/run: element address
-  std::uint64_t arg = 0;  ///< run: element count; compute: cycles
+  vaddr_t addr = 0;        ///< touch/run/strided: element address
+  std::uint64_t arg = 0;   ///< run/strided: element count; compute: cycles
+  std::int64_t stride = 8; ///< strided: byte advance per element (run: 8)
 
   bool operator==(const Event&) const = default;
 
@@ -66,6 +71,10 @@ struct Event {
   static Event run_ev(vaddr_t addr, std::uint64_t n, PageKind page,
                       Access access) {
     return Event{Kind::run, page, access, addr, n};
+  }
+  static Event strided_ev(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                          PageKind page, Access access) {
+    return Event{Kind::strided, page, access, addr, n, stride};
   }
   static Event compute_ev(cycles_t cycles) {
     return Event{Kind::compute, PageKind::small4k, Access::load, 0, cycles};
@@ -104,8 +113,28 @@ class ThreadEncoder {
   }
   void touch_run(vaddr_t addr, std::uint64_t n, PageKind kind,
                  Access access) {
+    if (n == 1) {  // canonical framing: a one-element batch is a TOUCH
+      touch(addr, kind, access);
+      return;
+    }
     if (repeat_count_ > 0 && try_continue_run(addr, n, kind, access)) return;
     touch_run_slow(addr, n, kind, access);
+  }
+  void touch_strided(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                     PageKind kind, Access access) {
+    if (stride == sizeof(double)) {  // canonical framing: unit stride is RUN
+      touch_run(addr, n, kind, access);
+      return;
+    }
+    if (n == 1) {  // one element makes the stride unobservable: TOUCH
+      touch(addr, kind, access);
+      return;
+    }
+    if (repeat_count_ > 0 &&
+        try_continue_strided(addr, n, stride, kind, access)) {
+      return;
+    }
+    touch_strided_slow(addr, n, stride, kind, access);
   }
   void compute(cycles_t cycles) {
     if (repeat_count_ > 0) {
@@ -137,12 +166,15 @@ class ThreadEncoder {
 
  private:
   /// Canonical compressed symbol: `tag` is the wire opcode byte (TOUCH tags
-  /// embed head/kind/access), `flags` carries RUN's head/kind/access.
+  /// embed head/kind/access), `flags` carries RUN/STRIDED head/kind/access.
+  /// `stride` is nonzero only for STRIDED symbols, so every legacy symbol
+  /// hashes and compares exactly as before the opcode existed.
   struct Symbol {
     std::uint8_t tag = 0;
     std::uint8_t flags = 0;
     std::int64_t delta = 0;
     std::uint64_t arg = 0;
+    std::int64_t stride = 0;
     bool operator==(const Symbol&) const = default;
   };
 
@@ -150,6 +182,8 @@ class ThreadEncoder {
   void touch_slow(vaddr_t addr, PageKind kind, Access access);
   void touch_run_slow(vaddr_t addr, std::uint64_t n, PageKind kind,
                       Access access);
+  void touch_strided_slow(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                          PageKind kind, Access access);
   void compute_slow(cycles_t cycles);
   void push(const Symbol& s);
   void push_ring(const Symbol& s, std::uint64_t key);
@@ -196,6 +230,30 @@ class ThreadEncoder {
       return false;
     }
     heads_[h] = addr + (n > 0 ? (n - 1) * sizeof(double) : 0);
+    ++repeat_count_;
+    advance_cursor();
+    return true;
+  }
+
+  bool try_continue_strided(vaddr_t addr, std::uint64_t n, std::int64_t stride,
+                            PageKind kind, Access access) {
+    const Symbol& pred = period_buf_[period_cursor_];
+    if (pred.tag != 0x05 /* STRIDED */ || pred.arg != n ||
+        pred.stride != stride) {
+      return false;
+    }
+    const unsigned kind_access =
+        (kind == PageKind::large2m ? 0x4u : 0x0u) |
+        static_cast<unsigned>(access);
+    if ((pred.flags & 0x7u) != kind_access) return false;
+    const unsigned h = (pred.flags >> 3) & 0x7;
+    if (addr != static_cast<vaddr_t>(
+                    static_cast<std::int64_t>(heads_[h]) + pred.delta)) {
+      return false;
+    }
+    heads_[h] = addr + static_cast<vaddr_t>(
+                           n > 0 ? static_cast<std::int64_t>(n - 1) * stride
+                                 : 0);
     ++repeat_count_;
     advance_cursor();
     return true;
@@ -299,7 +357,7 @@ class ThreadDecoder {
   };
 
   Event apply(std::uint8_t tag, std::uint8_t flags, std::int64_t delta,
-              std::uint64_t arg);
+              std::uint64_t arg, std::int64_t stride);
   static void append_slot(Block& out, const Event& ev);
 
   std::string_view bytes_;
@@ -312,6 +370,7 @@ class ThreadDecoder {
     std::uint8_t flags = 0;
     std::int64_t delta = 0;
     std::uint64_t arg = 0;
+    std::int64_t stride = 0;  ///< STRIDED symbols only
   };
   std::array<RingSymbol, ThreadEncoder::kRing> ring_{};
   std::uint64_t ring_len_ = 0;

@@ -32,6 +32,13 @@ class TraceRecorder final : public sim::TraceSink {
     touches_[tid] += n;
   }
 
+  void on_touch_strided(unsigned tid, vaddr_t addr, std::size_t n,
+                        std::int64_t stride_bytes, PageKind kind,
+                        Access access) override {
+    encoders_[tid].touch_strided(addr, n, stride_bytes, kind, access);
+    touches_[tid] += n;
+  }
+
   void on_compute(unsigned tid, cycles_t cycles) override {
     encoders_[tid].compute(cycles);
   }

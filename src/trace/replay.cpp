@@ -38,6 +38,7 @@ ReplayOutcome ReplayDriver::run(const Trace& trace) const {
                        config_.code_page_kind);
 
   sim::Machine* m = rt.machine();
+  if (config_.resink != nullptr) m->set_trace_sink(config_.resink);
 
   std::vector<ThreadDecoder> decoders;
   decoders.reserve(trace.streams.size());

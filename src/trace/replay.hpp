@@ -29,6 +29,14 @@ struct ReplayConfig {
   sim::CostModel cost;
   std::uint64_t seed = 0x5eedULL;
   PageKind code_page_kind = PageKind::small4k;
+
+  /// Optional sink observing the replayed stream. The replay reports events
+  /// with *live framing* — a decoded pattern block surfaces as the same
+  /// touch/run/strided/compute sequence a live run would have reported, one
+  /// run event per run rather than n singles — so attaching a TraceRecorder
+  /// here re-records a trace byte-identical to the one being replayed (the
+  /// framing invariant tests/test_trace_replay.cpp pins).
+  sim::TraceSink* resink = nullptr;
 };
 
 /// What a replay produces: the simulator outcome for the replay config,

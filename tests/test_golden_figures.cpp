@@ -15,6 +15,7 @@
 #include <string>
 
 #include "exec/engine.hpp"
+#include "sim/thread_sim.hpp"
 
 #ifndef LPOMP_GOLDEN_DIR
 #error "LPOMP_GOLDEN_DIR must point at tests/golden"
@@ -75,6 +76,27 @@ TEST(GoldenFigures, Figure5SmallClass) {
   ASSERT_EQ(result.failed(), 0u);
   for (const RunRecord& r : result.records) ASSERT_TRUE(r.verified);
   compare_against_golden("fig5_small.json", deterministic_json(result));
+}
+
+// The class-S full grid (every kernel × both platforms × thread sweep ×
+// both page kinds), pinned to *reference-model* output: the snapshot is
+// generated with the ThreadSim fast path disabled (the naive per-event
+// configuration the differential oracle trusts), while the checked-in
+// comparison runs with the fast path enabled. Counter identity between the
+// two configurations is the fast path's core invariant (DESIGN.md §7) —
+// any bulk-accounting change that shifts a counter diffs here against
+// numbers the reference model produced.
+TEST(GoldenFigures, FullGridClassSPinnedToReferenceModel) {
+  SweepSpec spec = SweepSpec::figure4(npb::Klass::S);
+  if (update_mode()) {
+    sim::ThreadSim::set_default_fast_path(false);
+  }
+  ExperimentEngine engine({.workers = 2});
+  const SweepResult result = engine.run(spec);
+  sim::ThreadSim::set_default_fast_path(true);
+  ASSERT_EQ(result.failed(), 0u);
+  for (const RunRecord& r : result.records) ASSERT_TRUE(r.verified);
+  compare_against_golden("sweep_S_reference.json", deterministic_json(result));
 }
 
 }  // namespace

@@ -1,0 +1,410 @@
+// Differential oracle for the ThreadSim fast path (DESIGN.md §7).
+//
+// Three simulators run every randomized access stream in lockstep:
+//
+//   fast — production ThreadSim, batched fast path enabled (the default);
+//   slow — production ThreadSim with set_fast_path(false), i.e. the
+//          per-event touch_impl loop on the production structures;
+//   ref  — tests/oracle/reference_sim.hpp, a naive single-step simulator
+//          with independently written TLB/cache models (per-set scans,
+//          no MRU filters, no probe hints, no bulk credits).
+//
+// After every stream, every counter — ThreadCounters plus the TLB and
+// cache structure stats — must agree across all three. The generator mixes
+// strides crossing 4 KB and 2 MB boundaries, page-kind mixes, TLB flushes
+// (SMT context switches on pre-ASID hardware), and in-place superpage
+// promotion; streams run on both of the paper's platforms.
+//
+// Reproduction: every failure message carries the platform, variant,
+// stream index, and the per-stream seed. LPOMP_DIFF_SEED overrides the
+// base seed, LPOMP_DIFF_STREAMS the stream count, and LPOMP_SEED_CORPUS
+// names a file to which every exercised (platform, stream, seed) triple is
+// appended (CI uploads it as the differential seed corpus artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "oracle/reference_sim.hpp"
+#include "sim/processor_spec.hpp"
+#include "sim/thread_sim.hpp"
+#include "support/rng.hpp"
+
+namespace lpomp {
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 0xD1FFC0DE5EEDULL;
+constexpr int kDefaultStreams = 10000;
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("LPOMP_DIFF_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultBaseSeed;
+}
+
+int stream_count() {
+  if (const char* env = std::getenv("LPOMP_DIFF_STREAMS")) {
+    return std::atoi(env);
+  }
+  return kDefaultStreams;
+}
+
+/// One simulator trio driven in lockstep.
+struct Trio {
+  sim::ThreadSim fast;
+  sim::ThreadSim slow;
+  oracle::RefThreadSim ref;
+};
+
+tlb::Tlb::Config slice_tlb(const tlb::Tlb::Config& cfg, unsigned sharers) {
+  return tlb::Tlb::Config{cfg.name, cfg.small4k.shared_slice(sharers),
+                          cfg.large2m.shared_slice(sharers)};
+}
+
+/// Builds a trio with machine.cpp's sharing-sliced structures.
+Trio make_trio(const sim::ProcessorSpec& spec, const sim::CostModel& cm,
+               const mem::AddressSpace& space, unsigned core_sharers,
+               unsigned l2_sharers, std::uint64_t seed) {
+  const tlb::Tlb::Config itlb = slice_tlb(spec.itlb, core_sharers);
+  const tlb::Tlb::Config l1_dtlb = slice_tlb(spec.l1_dtlb, core_sharers);
+  const std::optional<tlb::Tlb::Config> l2_dtlb =
+      spec.l2_dtlb ? std::optional<tlb::Tlb::Config>(
+                         slice_tlb(*spec.l2_dtlb, core_sharers))
+                   : std::nullopt;
+  const cache::CacheGeometry l1d = spec.l1d.shared_slice(core_sharers);
+  const cache::CacheGeometry l2 = spec.l2.shared_slice(l2_sharers);
+  return Trio{
+      sim::ThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed),
+      sim::ThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed),
+      oracle::RefThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed)};
+}
+
+#define LPOMP_DIFF_FIELD(field)                                       \
+  if (a.field != b.field) {                                           \
+    os << " " #field "=" << a.field << " vs " << b.field;             \
+    same = false;                                                     \
+  }
+
+bool diff_counters(const sim::ThreadCounters& a, const sim::ThreadCounters& b,
+                   std::ostream& os) {
+  bool same = true;
+  LPOMP_DIFF_FIELD(exec_cycles)
+  LPOMP_DIFF_FIELD(stall_cycles)
+  LPOMP_DIFF_FIELD(accesses)
+  LPOMP_DIFF_FIELD(stores)
+  LPOMP_DIFF_FIELD(l1d_misses)
+  LPOMP_DIFF_FIELD(l2d_misses)
+  LPOMP_DIFF_FIELD(dtlb_l1_misses)
+  LPOMP_DIFF_FIELD(dtlb_l2_hits)
+  LPOMP_DIFF_FIELD(dtlb_walks[0])
+  LPOMP_DIFF_FIELD(dtlb_walks[1])
+  LPOMP_DIFF_FIELD(walk_levels)
+  LPOMP_DIFF_FIELD(itlb_lookups)
+  LPOMP_DIFF_FIELD(itlb_misses)
+  LPOMP_DIFF_FIELD(prefetch_covered)
+  LPOMP_DIFF_FIELD(long_stalls)
+  return same;
+}
+
+bool diff_tlb(const tlb::Tlb::Stats& a, const oracle::RefTlb::Stats& b,
+              std::ostream& os) {
+  bool same = true;
+  LPOMP_DIFF_FIELD(lookups[0])
+  LPOMP_DIFF_FIELD(lookups[1])
+  LPOMP_DIFF_FIELD(hits[0])
+  LPOMP_DIFF_FIELD(hits[1])
+  return same;
+}
+
+bool diff_cache(const cache::Cache::Stats& a, const oracle::RefCache::Stats& b,
+                std::ostream& os) {
+  bool same = true;
+  LPOMP_DIFF_FIELD(lookups)
+  LPOMP_DIFF_FIELD(hits)
+  LPOMP_DIFF_FIELD(store_lookups)
+  return same;
+}
+
+#undef LPOMP_DIFF_FIELD
+
+/// Full three-way comparison; returns a description of every divergence.
+::testing::AssertionResult trio_converged(Trio& t) {
+  std::ostringstream os;
+  bool same = true;
+
+  os << "[fast vs ref counters]";
+  same &= diff_counters(t.fast.counters(), t.ref.counters(), os);
+  os << " [slow vs ref counters]";
+  same &= diff_counters(t.slow.counters(), t.ref.counters(), os);
+
+  for (auto [sim_ptr, label] :
+       {std::pair<sim::ThreadSim*, const char*>{&t.fast, "fast"},
+        std::pair<sim::ThreadSim*, const char*>{&t.slow, "slow"}}) {
+    os << " [" << label << " vs ref l1 dtlb]";
+    same &= diff_tlb(sim_ptr->tlbs().l1d().stats(), t.ref.tlbs().l1d().stats(),
+                     os);
+    os << " [" << label << " vs ref itlb]";
+    same &= diff_tlb(sim_ptr->tlbs().itlb().stats(),
+                     t.ref.tlbs().itlb().stats(), os);
+    if (sim_ptr->tlbs().has_l2d()) {
+      os << " [" << label << " vs ref l2 dtlb]";
+      same &= diff_tlb(sim_ptr->tlbs().l2d().stats(),
+                       t.ref.tlbs().l2d().stats(), os);
+    }
+    for (PageKind k : {PageKind::small4k, PageKind::large2m}) {
+      if (sim_ptr->tlbs().walk_count(k) != t.ref.tlbs().walk_count(k)) {
+        os << " [" << label << " walks(" << static_cast<int>(k)
+           << ")=" << sim_ptr->tlbs().walk_count(k) << " vs "
+           << t.ref.tlbs().walk_count(k) << "]";
+        same = false;
+      }
+    }
+    os << " [" << label << " vs ref l1d]";
+    same &= diff_cache(sim_ptr->l1d().stats(), t.ref.l1d().stats(), os);
+    os << " [" << label << " vs ref l2]";
+    same &= diff_cache(sim_ptr->l2().stats(), t.ref.l2().stats(), os);
+  }
+
+  if (same) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << os.str();
+}
+
+/// Shared memory image for one platform's streams: a promotable small-page
+/// region (2 MB-aligned chunks, mapped first so chunk bases stay aligned),
+/// a plain small-page region, and a huge-page region.
+struct Layout {
+  static constexpr std::size_t kPromoChunks = 4;
+
+  mem::PhysMem pm{MiB(128)};
+  mem::AddressSpace space{pm};
+  mem::Region promo, small, large;
+  bool promoted[kPromoChunks] = {false, false, false, false};
+
+  Layout() {
+    promo = space.map_region(kPromoChunks * MiB(2), PageKind::small4k,
+                             "promo");
+    small = space.map_region(KiB(256), PageKind::small4k, "small");
+    large = space.map_region(MiB(8), PageKind::large2m, "large");
+  }
+};
+
+void run_platform(const sim::ProcessorSpec& spec) {
+  const sim::CostModel cm;
+  const std::uint64_t seed0 = base_seed();
+  const int streams = stream_count();
+  Layout lay;
+
+  // Two sharing variants per platform, sliced the way Machine slices them:
+  // solo, and a fully loaded core (SMT co-residents on the TLBs/L1, chip
+  // co-residents on a shared L2).
+  std::vector<Trio> trios;
+  std::vector<unsigned> active = {1, 4};
+  for (unsigned v = 0; v < 2; ++v) {
+    const unsigned core_sharers = v == 0 ? 1 : 2;
+    const unsigned l2_sharers =
+        v == 0 ? 1 : (spec.l2_shared_per_chip ? 4 : 2);
+    trios.push_back(make_trio(spec, cm, lay.space, core_sharers, l2_sharers,
+                              seed0 + 0x9e37 * (v + 1)));
+    Trio& t = trios.back();
+    t.slow.set_fast_path(false);
+    const count_t jump_period = v == 0 ? 53 : 97;
+    for (int which = 0; which < 3; ++which) {
+      // Unmapped code base is fine: the instruction stream only probes the
+      // ITLB, it never walks the page table.
+      constexpr vaddr_t kCodeBase = 0x40'0000;
+      constexpr std::size_t kCodeSize = KiB(160);
+      if (which == 0) {
+        t.fast.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
+                           jump_period, 0.15);
+        t.fast.set_active_threads(active[v]);
+      } else if (which == 1) {
+        t.slow.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
+                           jump_period, 0.15);
+        t.slow.set_active_threads(active[v]);
+      } else {
+        t.ref.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
+                          jump_period, 0.15);
+        t.ref.set_active_threads(active[v]);
+      }
+    }
+  }
+
+  std::ostringstream corpus;
+  for (int stream = 0; stream < streams; ++stream) {
+    const std::uint64_t seed =
+        seed0 ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(stream + 1));
+    corpus << spec.name << ' ' << stream << " 0x" << std::hex << seed
+           << std::dec << '\n';
+    Rng gen(seed);
+
+    const unsigned n_ops = 2 + static_cast<unsigned>(gen.next_below(10));
+    for (unsigned op = 0; op < n_ops; ++op) {
+      // Pick a target window: a promo chunk (kind follows its promotion
+      // state), the plain 4 KB region, or the 2 MB region.
+      const std::uint64_t which = gen.next_below(3);
+      vaddr_t base;
+      std::size_t limit;
+      PageKind kind;
+      if (which == 0) {
+        const auto chunk =
+            static_cast<std::size_t>(gen.next_below(Layout::kPromoChunks));
+        base = lay.promo.base + static_cast<vaddr_t>(chunk) * MiB(2);
+        limit = MiB(2);
+        kind = lay.promoted[chunk] ? PageKind::large2m : PageKind::small4k;
+      } else if (which == 1) {
+        base = lay.small.base;
+        limit = KiB(256);
+        kind = PageKind::small4k;
+      } else {
+        base = lay.large.base;
+        limit = MiB(8);
+        kind = PageKind::large2m;
+      }
+      const Access access =
+          gen.next_below(3) == 0 ? Access::store : Access::load;
+
+      const std::uint64_t roll = gen.next_below(100);
+      if (roll < 30) {
+        // Single touch.
+        const vaddr_t addr = base + 8 * gen.next_below(limit / 8);
+        for (int w = 0; w < 2; ++w) {
+          Trio& t = trios[static_cast<std::size_t>(w)];
+          t.fast.touch(addr, kind, access);
+          t.slow.touch(addr, kind, access);
+          t.ref.touch(addr, kind, access);
+        }
+      } else if (roll < 55) {
+        // Unit-stride run crossing line/page (and, in the 2 MB region,
+        // huge-page) boundaries.
+        auto n = static_cast<std::size_t>(1 + gen.next_below(600));
+        if (n > limit / 8) n = limit / 8;
+        const vaddr_t addr = base + 8 * gen.next_below(limit / 8 - n + 1);
+        for (int w = 0; w < 2; ++w) {
+          Trio& t = trios[static_cast<std::size_t>(w)];
+          t.fast.touch_run(addr, n, kind, access);
+          t.slow.touch_run(addr, n, kind, access);
+          t.ref.touch_run(addr, n, kind, access);
+        }
+      } else if (roll < 80) {
+        // Strided run: forward, backward, zero, sub-line, multi-line, and
+        // page-striding (> 4 KB) strides.
+        static constexpr std::int64_t kStrides[] = {
+            -4096, -72, -64, -16, -8, 0, 8, 16, 24, 64, 72, 520, 4096, 4104};
+        const std::int64_t stride =
+            kStrides[gen.next_below(sizeof(kStrides) / sizeof(kStrides[0]))];
+        const std::uint64_t mag =
+            stride < 0 ? static_cast<std::uint64_t>(-stride)
+                       : static_cast<std::uint64_t>(stride);
+        auto n = static_cast<std::size_t>(1 + gen.next_below(300));
+        if (mag != 0) {
+          const std::size_t max_n =
+              static_cast<std::size_t>((limit - 8) / mag) + 1;
+          if (n > max_n) n = max_n;
+        }
+        const std::uint64_t span = mag * (n - 1);
+        vaddr_t addr;
+        if (stride >= 0) {
+          addr = base + 8 * gen.next_below((limit - 8 - span) / 8 + 1);
+        } else {
+          addr = base + span + 8 * gen.next_below((limit - 8 - span) / 8 + 1);
+        }
+        for (int w = 0; w < 2; ++w) {
+          Trio& t = trios[static_cast<std::size_t>(w)];
+          t.fast.touch_strided(addr, n, stride, kind, access);
+          t.slow.touch_strided(addr, n, stride, kind, access);
+          t.ref.touch_strided(addr, n, stride, kind, access);
+        }
+      } else if (roll < 88) {
+        const auto cycles = static_cast<cycles_t>(gen.next_below(500));
+        for (int w = 0; w < 2; ++w) {
+          Trio& t = trios[static_cast<std::size_t>(w)];
+          t.fast.add_compute(cycles);
+          t.slow.add_compute(cycles);
+          t.ref.add_compute(cycles);
+        }
+      } else if (roll < 94) {
+        // SMT context switch on pre-ASID hardware: all translations drop.
+        for (int w = 0; w < 2; ++w) {
+          Trio& t = trios[static_cast<std::size_t>(w)];
+          t.fast.tlbs().flush_all();
+          t.slow.tlbs().flush_all();
+          t.ref.flush_tlbs();
+        }
+      } else {
+        // Promotion event: one 4 KB chunk becomes a huge page, followed by
+        // the TLB shootdown the promotion mechanism performs.
+        std::size_t chunk = Layout::kPromoChunks;
+        for (std::size_t ci = 0; ci < Layout::kPromoChunks; ++ci) {
+          if (!lay.promoted[ci]) {
+            chunk = ci;
+            break;
+          }
+        }
+        if (chunk == Layout::kPromoChunks) continue;  // all promoted already
+        const vaddr_t chunk_base =
+            lay.promo.base + static_cast<vaddr_t>(chunk) * MiB(2);
+        if (lay.space.promote(chunk_base)) {
+          lay.promoted[chunk] = true;
+          ASSERT_EQ(lay.space.kind_at(chunk_base), PageKind::large2m);
+          for (int w = 0; w < 2; ++w) {
+            Trio& t = trios[static_cast<std::size_t>(w)];
+            t.fast.tlbs().flush_all();
+            t.slow.tlbs().flush_all();
+            t.ref.flush_tlbs();
+          }
+        }
+      }
+    }
+
+    for (unsigned v = 0; v < 2; ++v) {
+      ASSERT_TRUE(trio_converged(trios[v]))
+          << "platform=" << spec.name << " variant=" << v
+          << " stream=" << stream << " stream_seed=0x" << std::hex << seed
+          << " base_seed=0x" << seed0 << std::dec
+          << " (rerun with LPOMP_DIFF_SEED=0x" << std::hex << seed0
+          << std::dec << ")";
+    }
+  }
+
+  if (const char* path = std::getenv("LPOMP_SEED_CORPUS")) {
+    std::ofstream out(path, std::ios::app);
+    out << corpus.str();
+  }
+}
+
+TEST(SimDifferential, OpteronFastPathMatchesReference) {
+  run_platform(sim::ProcessorSpec::opteron270());
+}
+
+TEST(SimDifferential, XeonFastPathMatchesReference) {
+  run_platform(sim::ProcessorSpec::xeon_ht());
+}
+
+// The reference configuration switch itself: a ThreadSim constructed while
+// the process-wide default is off must take the per-event path (observable
+// only through wall-clock, so just pin the flag wiring here).
+TEST(SimDifferential, DefaultFastPathToggle) {
+  ASSERT_TRUE(sim::ThreadSim::default_fast_path());
+  sim::ThreadSim::set_default_fast_path(false);
+  {
+    mem::PhysMem pm{MiB(16)};
+    mem::AddressSpace space{pm};
+    const sim::CostModel cm;
+    const sim::ProcessorSpec spec = sim::ProcessorSpec::opteron270();
+    sim::ThreadSim s(cm, space, spec.itlb, spec.l1_dtlb, spec.l2_dtlb,
+                     spec.l1d, spec.l2, 1);
+    EXPECT_FALSE(s.fast_path());
+    s.set_fast_path(true);
+    EXPECT_TRUE(s.fast_path());
+  }
+  sim::ThreadSim::set_default_fast_path(true);
+}
+
+}  // namespace
+}  // namespace lpomp

@@ -39,10 +39,30 @@ std::string encode(const std::vector<RefItem>& items) {
       case Event::Kind::compute:
         enc.compute(item.event.arg);
         break;
+      case Event::Kind::strided:
+        enc.touch_strided(item.event.addr, item.event.arg, item.event.stride,
+                          item.event.page, item.event.access);
+        break;
     }
   }
   enc.finish();
   return enc.bytes();
+}
+
+/// The canonical wire framing of an event: the encoder rewrites stride-8
+/// strided batches to RUN and one-element batches to TOUCH before anything
+/// reaches the wire, so decoded streams report the canonical form. The
+/// mapping is access-preserving — the simulator treats both framings
+/// identically — and it is what makes a replay's re-record byte-identical.
+Event canonical(Event e) {
+  if (e.kind == Event::Kind::strided && e.stride == 8) {
+    e.kind = Event::Kind::run;
+  }
+  if ((e.kind == Event::Kind::run || e.kind == Event::Kind::strided) &&
+      e.arg == 1) {
+    return Event::touch_ev(e.addr, e.page, e.access);
+  }
+  return e;
 }
 
 void expect_roundtrip(const std::vector<RefItem>& items) {
@@ -54,7 +74,7 @@ void expect_roundtrip(const std::vector<RefItem>& items) {
       ASSERT_EQ(got.kind, ThreadDecoder::ItemKind::segment) << "item " << i;
     } else {
       ASSERT_EQ(got.kind, ThreadDecoder::ItemKind::event) << "item " << i;
-      ASSERT_EQ(got.event, items[i].event) << "item " << i;
+      ASSERT_EQ(got.event, canonical(items[i].event)) << "item " << i;
     }
   }
   EXPECT_EQ(dec.next().kind, ThreadDecoder::ItemKind::end);
@@ -141,9 +161,21 @@ std::vector<RefItem> random_stream(std::uint64_t seed) {
                                     kind, access)});
       }
     } else if (choice == 8) {
-      items.push_back(
-          {false, Event::run_ev(base + rng.next_below(1 << 20) * 8,
-                                1 + rng.next_below(5000), kind, access)});
+      if (rng.next_below(2) == 0) {
+        items.push_back(
+            {false, Event::run_ev(base + rng.next_below(1 << 20) * 8,
+                                  1 + rng.next_below(5000), kind, access)});
+      } else {
+        // Strided run record: forward, backward, or zero byte strides
+        // (never 8 — the encoder canonicalises that to a RUN).
+        static constexpr std::int64_t kStrides[] = {-4096, -64, -16, 0,
+                                                    16,    64,  520, 4096};
+        items.push_back(
+            {false,
+             Event::strided_ev(base + rng.next_below(1 << 20) * 8,
+                               rng.next_below(300), kStrides[rng.next_below(8)],
+                               kind, access)});
+      }
     } else {
       items.push_back({false, Event::compute_ev(rng.next_below(1 << 30))});
       if (rng.next_below(50) == 0) items.push_back({true, Event{}});
@@ -171,12 +203,15 @@ TEST(TraceCodec, BlockDecodeMatchesEventDecode) {
     ThreadDecoder by_block(bytes);
 
     auto expect_access = [&by_event](vaddr_t addr, std::uint64_t n,
-                                     PageKind page, Access access) {
+                                     std::int64_t stride, PageKind page,
+                                     Access access) {
       const ThreadDecoder::Item ref = by_event.next();
       ASSERT_EQ(ref.kind, ThreadDecoder::ItemKind::event);
       ASSERT_NE(ref.event.kind, Event::Kind::compute);
       ASSERT_EQ(ref.event.addr, addr);
-      ASSERT_EQ(ref.event.kind == Event::Kind::run ? ref.event.arg : 1, n);
+      ASSERT_EQ(ref.event.kind == Event::Kind::touch ? 1 : ref.event.arg, n);
+      ASSERT_EQ(ref.event.kind == Event::Kind::strided ? ref.event.stride : 8,
+                stride);
       ASSERT_EQ(ref.event.page, page);
       ASSERT_EQ(ref.event.access, access);
     };
@@ -198,7 +233,7 @@ TEST(TraceCodec, BlockDecodeMatchesEventDecode) {
             ASSERT_EQ(ref.event.kind, Event::Kind::compute);
             ASSERT_EQ(ref.event.arg, s.cycles);
           } else {
-            expect_access(s.addr, s.n, s.page, s.access);
+            expect_access(s.addr, s.n, s.stride, s.page, s.access);
             s.addr += static_cast<vaddr_t>(s.period_inc);
           }
         }
@@ -246,6 +281,173 @@ TEST(TraceCodec, TruncatedStreamThrows) {
         }
       },
       TraceError);
+}
+
+TEST(TraceCodec, StridedEventsRoundTrip) {
+  std::vector<RefItem> items;
+  const vaddr_t base = 0x10000000;
+  // Forward, backward, zero, sub-line, page-striding, and degenerate counts.
+  for (std::int64_t stride : {-8192LL, -520LL, -16LL, 0LL, 16LL, 72LL,
+                              4096LL, 1LL << 30}) {
+    for (std::uint64_t n : {0ULL, 1ULL, 2ULL, 63ULL, 1000ULL}) {
+      items.push_back({false, Event::strided_ev(base + 0x100000, n, stride,
+                                                PageKind::small4k,
+                                                Access::load)});
+      items.push_back({false, Event::strided_ev(base, n, stride,
+                                                PageKind::large2m,
+                                                Access::store)});
+    }
+  }
+  expect_roundtrip(items);
+}
+
+TEST(TraceCodec, ZeroLengthRunsRoundTrip) {
+  // n = 0 runs are legal records (a loop whose trip count collapsed to
+  // nothing); they must round-trip and must not corrupt head prediction.
+  std::vector<RefItem> items;
+  for (int i = 0; i < 100; ++i) {
+    items.push_back({false, Event::run_ev(0x10000000 + i * 4096, 0,
+                                          PageKind::small4k, Access::load)});
+    items.push_back({false, Event::run_ev(0x10000000 + i * 4096, 5,
+                                          PageKind::small4k, Access::load)});
+    items.push_back({false, Event::strided_ev(0x10002000 + i * 4096, 0, -64,
+                                              PageKind::small4k,
+                                              Access::store)});
+  }
+  expect_roundtrip(items);
+}
+
+// A stream whose period is exactly kRing (64, the maximum the encoder's
+// ring can discover): 64 distinct touch symbols repeating with a constant
+// per-period advance must collapse into one REPEAT record and round-trip
+// through both decode paths.
+TEST(TraceCodec, MaxPeriodRleRoundTrip) {
+  std::vector<RefItem> items;
+  constexpr int kPeriod = 64;
+  constexpr int kReps = 200;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int j = 0; j < kPeriod; ++j) {
+      // Distinct intra-period deltas (triangular offsets) so no shorter
+      // period divides the pattern; each period advances by 8 bytes.
+      const vaddr_t addr = 0x10000000 +
+                           static_cast<vaddr_t>(j * (j + 1) / 2) * 8 +
+                           static_cast<vaddr_t>(rep) * 8;
+      items.push_back({false, Event::touch_ev(addr, PageKind::small4k,
+                                              Access::load)});
+    }
+  }
+  const std::string bytes = encode(items);
+  // 12800 touches with a discoverable period must compress far below a
+  // byte per access.
+  EXPECT_LT(bytes.size(), items.size() / 8);
+  expect_roundtrip(items);
+}
+
+// More concurrently live address sequences than the encoder has heads (8):
+// every event evicts a head (all bases are > 1 MiB apart, the far-head
+// threshold), which is the worst case for delta prediction. Must still
+// round-trip exactly through both decode paths.
+TEST(TraceCodec, HeadEvictionChurnRoundTrip) {
+  std::vector<RefItem> items;
+  constexpr int kSequences = 13;  // > kHeads == 8
+  vaddr_t cursor[kSequences];
+  for (int s = 0; s < kSequences; ++s) {
+    cursor[s] = 0x10000000 + static_cast<vaddr_t>(s) * MiB(2);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const int s = i % kSequences;
+    items.push_back({false, Event::touch_ev(cursor[s], PageKind::small4k,
+                                            Access::load)});
+    cursor[s] += 8;
+  }
+  expect_roundtrip(items);
+
+  // Same churn through the block decoder.
+  const std::string bytes = encode(items);
+  ThreadDecoder by_block(bytes);
+  ThreadDecoder::Block block;
+  std::size_t accesses = 0;
+  while (by_block.next_block(block)) {
+    ASSERT_EQ(block.kind, ThreadDecoder::Block::Kind::pattern);
+    for (const ThreadDecoder::PatternSlot& s : block.pattern) {
+      ASSERT_FALSE(s.is_compute);
+      accesses += static_cast<std::size_t>(s.n) * block.periods;
+    }
+  }
+  EXPECT_EQ(accesses, items.size());
+}
+
+// stride == 8 is canonicalised to RUN framing at the encoder entry point:
+// byte-identical output, and the decoded stream reports run events.
+TEST(TraceCodec, StrideEightCanonicalisedToRun) {
+  ThreadEncoder as_strided;
+  ThreadEncoder as_run;
+  for (int i = 0; i < 50; ++i) {
+    const vaddr_t addr = 0x10000000 + static_cast<vaddr_t>(i) * 4096;
+    as_strided.touch_strided(addr, 17, 8, PageKind::small4k, Access::load);
+    as_run.touch_run(addr, 17, PageKind::small4k, Access::load);
+  }
+  as_strided.finish();
+  as_run.finish();
+  ASSERT_EQ(as_strided.bytes(), as_run.bytes());
+
+  ThreadDecoder dec(as_run.bytes());
+  for (int i = 0; i < 50; ++i) {
+    const ThreadDecoder::Item item = dec.next();
+    ASSERT_EQ(item.kind, ThreadDecoder::ItemKind::event);
+    EXPECT_EQ(item.event.kind, Event::Kind::run);
+    EXPECT_EQ(item.event.stride, 8);
+  }
+  EXPECT_EQ(dec.next().kind, ThreadDecoder::ItemKind::end);
+}
+
+// n == 1 batches are canonicalised to TOUCH framing regardless of stride:
+// byte-identical to encoding the touch directly, and the decoded stream
+// reports touch events. Without this a replayed trace could not re-record
+// byte-identically — a one-element slot is indistinguishable from a touch.
+TEST(TraceCodec, OneElementBatchCanonicalisedToTouch) {
+  ThreadEncoder as_batch;
+  ThreadEncoder as_touch;
+  for (int i = 0; i < 50; ++i) {
+    const vaddr_t addr = 0x10000000 + static_cast<vaddr_t>(i) * 4096;
+    if (i % 2 == 0) {
+      as_batch.touch_run(addr, 1, PageKind::small4k, Access::load);
+    } else {
+      as_batch.touch_strided(addr, 1, -520, PageKind::small4k, Access::load);
+    }
+    as_touch.touch(addr, PageKind::small4k, Access::load);
+  }
+  as_batch.finish();
+  as_touch.finish();
+  ASSERT_EQ(as_batch.bytes(), as_touch.bytes());
+
+  ThreadDecoder dec(as_touch.bytes());
+  for (int i = 0; i < 50; ++i) {
+    const ThreadDecoder::Item item = dec.next();
+    ASSERT_EQ(item.kind, ThreadDecoder::ItemKind::event);
+    EXPECT_EQ(item.event.kind, Event::Kind::touch);
+  }
+  EXPECT_EQ(dec.next().kind, ThreadDecoder::ItemKind::end);
+}
+
+TEST(TraceCodec, TruncatedStridedRunThrows) {
+  ThreadEncoder enc;
+  enc.touch_strided(0x10000000, 100, 4096, PageKind::small4k, Access::load);
+  enc.finish();
+  const std::string bytes = enc.bytes();
+  // Every proper prefix must throw (STRIDED carries opcode + flags + delta
+  // + count + stride; cutting any of them is a truncation, and the missing
+  // END marker makes even the full first record unterminated).
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ThreadDecoder dec(bytes.substr(0, cut));
+    EXPECT_THROW(
+        {
+          while (dec.next().kind != ThreadDecoder::ItemKind::end) {
+          }
+        },
+        TraceError)
+        << "cut at " << cut;
+  }
 }
 
 TEST(TraceCodec, RepeatBeforeHistoryThrows) {
@@ -342,6 +544,22 @@ TEST(TraceIo, CorruptionRejected) {
     std::string bad = full + "x";
     std::stringstream is(bad);
     EXPECT_THROW(read_trace(is), TraceError);
+  }
+}
+
+// Systematic single-bit corruption: the FNV-1a container checksum (or a
+// structural check it backstops) must reject a flip at *every* byte offset
+// — stream payloads, metadata, lengths, and the checksum itself — and must
+// fail via TraceError, never UB, OOM, or a silent wrong read.
+TEST(TraceIo, BitFlipRejectedAtEveryOffset) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  const std::string full = ss.str();
+  for (std::size_t off = 0; off < full.size(); ++off) {
+    std::string bad = full;
+    bad[off] ^= 0x04;
+    std::stringstream is(bad);
+    EXPECT_THROW(read_trace(is), TraceError) << "flip at offset " << off;
   }
 }
 

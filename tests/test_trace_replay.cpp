@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "exec/engine.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_mem.hpp"
 #include "npb/npb.hpp"
 #include "prof/profile.hpp"
+#include "sim/thread_sim.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 #include "trace/store.hpp"
@@ -208,6 +211,83 @@ TEST(TraceReplay, RejectsImpossibleReplay) {
   trace::ReplayDriver xeon_driver(trace::ReplayConfig{
       sim::ProcessorSpec::xeon_ht(), {}, 0x5eedULL, PageKind::small4k});
   EXPECT_THROW(xeon_driver.run(broken), trace::TraceError);
+}
+
+// --- event framing ----------------------------------------------------------
+
+// A live touch_run/touch_strided must surface at the TraceSink as ONE run
+// (or strided) event — never as n singles — and stride-8 strided calls must
+// canonicalise to run framing. Any framing drift here silently changes the
+// wire bytes of every recorded trace.
+TEST(TraceFraming, LiveEntryPointsReportSingleEvents) {
+  mem::PhysMem pm{MiB(32)};
+  mem::AddressSpace space{pm};
+  const mem::Region r = space.map_region(MiB(2), PageKind::small4k, "data");
+  const sim::CostModel cm;
+  const sim::ProcessorSpec spec = sim::ProcessorSpec::opteron270();
+  sim::ThreadSim ts(cm, space, spec.itlb, spec.l1_dtlb, spec.l2_dtlb,
+                    spec.l1d, spec.l2, 1);
+  trace::TraceRecorder rec(1);
+  ts.set_trace_sink(&rec, 0);
+
+  ts.touch(r.base, PageKind::small4k, Access::load);
+  ts.touch_run(r.base, 500, PageKind::small4k, Access::store);
+  ts.touch_strided(r.base + 4096, 300, 64, PageKind::small4k, Access::load);
+  ts.touch_strided(r.base, 200, 8, PageKind::small4k, Access::load);
+  ts.add_compute(42);
+
+  trace::TraceMeta meta;
+  meta.kernel = "CG";
+  meta.klass = "S";
+  meta.threads = 1;
+  const trace::Trace trace = rec.finish(std::move(meta));
+  EXPECT_EQ(trace.meta.accesses, 1u + 500u + 300u + 200u);
+
+  trace::ThreadDecoder dec(trace.streams[0]);
+  const trace::Event expected[] = {
+      trace::Event::touch_ev(r.base, PageKind::small4k, Access::load),
+      trace::Event::run_ev(r.base, 500, PageKind::small4k, Access::store),
+      trace::Event::strided_ev(r.base + 4096, 300, 64, PageKind::small4k,
+                               Access::load),
+      // stride 8 canonicalises to run framing at every layer.
+      trace::Event::run_ev(r.base, 200, PageKind::small4k, Access::load),
+      trace::Event::compute_ev(42),
+  };
+  for (const trace::Event& want : expected) {
+    const trace::ThreadDecoder::Item item = dec.next();
+    ASSERT_EQ(item.kind, trace::ThreadDecoder::ItemKind::event);
+    EXPECT_EQ(item.event, want);
+  }
+  EXPECT_EQ(dec.next().kind, trace::ThreadDecoder::ItemKind::end);
+}
+
+// The replay side of the same invariant: ReplayDriver's pattern-block
+// decode must report the identical event sequence, with identical framing,
+// to an attached sink — so re-recording a replay reproduces the original
+// trace byte-for-byte. CG covers runs and gathers; FT covers strided
+// framing (its root-table scan records STRIDED events).
+TEST(TraceFraming, ReplayReRecordsIdenticalBytes) {
+  for (npb::Kernel kernel : {npb::Kernel::CG, npb::Kernel::FT}) {
+    const LiveRun live =
+        record_live(kernel, npb::Klass::S, sim::ProcessorSpec::opteron270(),
+                    2, PageKind::small4k);
+
+    trace::TraceRecorder rerec(live.trace.meta.threads);
+    trace::ReplayConfig cfg;
+    cfg.resink = &rerec;
+    trace::ReplayDriver driver(cfg);
+    driver.run(live.trace);
+
+    const trace::Trace re = rerec.finish(live.trace.meta);
+    ASSERT_EQ(re.streams.size(), live.trace.streams.size());
+    for (std::size_t t = 0; t < re.streams.size(); ++t) {
+      EXPECT_EQ(re.streams[t], live.trace.streams[t])
+          << npb::kernel_name(kernel) << " thread " << t
+          << ": replay re-record diverged from the original bytes";
+    }
+    EXPECT_EQ(re.boundaries, live.trace.boundaries);
+    EXPECT_EQ(re.meta.accesses, live.trace.meta.accesses);
+  }
 }
 
 }  // namespace
