@@ -9,11 +9,17 @@
 //   * Figure 3 — aggregate ITLB miss rate at 4 threads (negligible).
 //
 // The sweep is trace-backed by default: each unique address stream
-// (kernel × class × threads × page kind) is recorded once and replayed for
-// the other platform's grid points, skipping the kernel numerics without
-// changing a single counter (--no-trace runs everything live).
-// --replay-check replays every recordable task against its live run and
-// verifies bit-identity across the whole grid.
+// (kernel × class × threads × page kind) is served as one fused multi-lane
+// group — the first grid point runs live while every other platform/seed
+// point tracks it as a lane, skipping the kernel numerics without changing
+// a single counter. --no-multilane falls back to the record-then-replay
+// trace store path, --no-trace runs everything live; all three produce
+// bit-identical grids. --replay-check replays every recordable task
+// against its live run and verifies bit-identity across the whole grid.
+//
+// --json-out=BENCH_sweep.json writes the machine-readable perf summary CI
+// trends: cold/warm wall-clock, warm cache-hit rate, lane occupancy, and a
+// per-run wall-time/provenance row for every grid point.
 //
 // After the cold sweep the same grid is rerun warm to exercise the result
 // cache: the rerun must be served (≥90 %, in practice 100 %) from cache and
@@ -76,10 +82,14 @@ int main(int argc, char** argv) {
   }
 
   exec::ExperimentEngine engine = bench::make_engine(opts);
+  const bool multilane = !opts.get_flag("no-multilane");
   std::cout << "sweep_all: " << spec.expand().size()
             << " runs over the Figure 4 grid (class " << npb::klass_name(klass)
-            << "), " << engine.workers() << " workers, traces "
-            << (spec.trace_backed ? "on" : "off") << "\n";
+            << "), " << engine.workers() << " workers, "
+            << (!spec.trace_backed
+                    ? "traces off"
+                    : (multilane ? "multi-lane groups" : "trace store"))
+            << "\n";
 
   const exec::SweepResult cold = engine.run(spec);
   bench::require_all_verified(cold);
@@ -90,18 +100,25 @@ int main(int argc, char** argv) {
             << "s simulated)\n";
   const bench::TraceProvenance prov = bench::trace_provenance(cold);
   if (spec.trace_backed) {
-    const trace::TraceStore::Stats ts = engine.trace_store().stats();
-    std::cout << "trace store: " << prov.record << " recorded, "
-              << prov.replay << " replayed, " << prov.live << " live; "
-              << ts.released << " streams released, " << ts.traces
-              << " resident (" << format_bytes(ts.bytes) << " of "
-              << format_bytes(ts.budget) << ")";
-    if (ts.rejected > 0) {
-      // An over-budget stream is never stored, so every later task sharing
-      // it silently re-records; raise --trace-store-mb.
-      std::cout << "; " << ts.rejected << " over-budget inserts dropped";
+    std::cout << "streams: " << prov.lane << " lanes in " << cold.fused_groups
+              << " fused groups, " << prov.record << " recorded, "
+              << prov.replay << " replayed, " << prov.live << " live";
+    if (prov.fallback > 0) {
+      std::cout << ", " << prov.fallback << " trace fallbacks";
     }
     std::cout << "\n";
+    const trace::TraceStore::Stats ts = engine.trace_store().stats();
+    if (ts.insertions > 0 || ts.traces > 0) {
+      std::cout << "trace store: " << ts.released << " streams released, "
+                << ts.traces << " resident (" << format_bytes(ts.bytes)
+                << " of " << format_bytes(ts.budget) << ")";
+      if (ts.rejected > 0) {
+        // An over-budget stream is never stored, so every later task sharing
+        // it silently re-records; raise --trace-store-mb.
+        std::cout << "; " << ts.rejected << " over-budget inserts dropped";
+      }
+      std::cout << "\n";
+    }
   }
 
   // Warm rerun over the identical grid: every task must be served from the
@@ -169,12 +186,14 @@ int main(int argc, char** argv) {
   w.end_object();
   if (host) {
     // Trace provenance is scheduling-dependent (which task records vs
-    // replays), so it lives with the host-only fields.
+    // replays or rides as a lane), so it lives with the host-only fields.
     w.key("trace");
     w.begin_object();
     w.field("enabled", spec.trace_backed);
     w.field("recorded", static_cast<std::uint64_t>(prov.record));
     w.field("replayed", static_cast<std::uint64_t>(prov.replay));
+    w.field("lanes", static_cast<std::uint64_t>(prov.lane));
+    w.field("fallbacks", static_cast<std::uint64_t>(prov.fallback));
     w.field("live", static_cast<std::uint64_t>(prov.live));
     w.end_object();
   }
@@ -189,6 +208,58 @@ int main(int argc, char** argv) {
     }
     os << w.str() << "\n";
     std::cout << "\nwrote " << path << "\n";
+  }
+
+  // --- BENCH summary (--json-out) -----------------------------------------
+  // Compact perf-trend document: wall-clock, cache-hit rate and lane
+  // occupancy, plus one wall-time/provenance row per grid point. CI uploads
+  // it and warns (non-blocking) when wall-clock regresses against the
+  // committed reference.
+  const std::string bench_path = opts.get("json-out", "");
+  if (!bench_path.empty()) {
+    const double occupancy =
+        cold.records.empty()
+            ? 0.0
+            : static_cast<double>(cold.fused_lanes) /
+                  static_cast<double>(cold.records.size());
+    exec::JsonWriter b;
+    b.begin_object();
+    b.field("schema", "lpomp-bench-sweep-v1");
+    b.field("klass", std::string(npb::klass_name(klass)));
+    b.field("workers", static_cast<std::uint64_t>(cold.workers));
+    b.field("multilane", multilane && spec.trace_backed);
+    b.field("runs", static_cast<std::uint64_t>(cold.records.size()));
+    b.field("cold_wall_ms", cold.wall_ms);
+    b.field("warm_wall_ms", warm.wall_ms);
+    b.field("warm_cache_hit_rate", warm_hit_rate);
+    b.key("lane_stats");
+    b.begin_object();
+    b.field("fused_groups", static_cast<std::uint64_t>(cold.fused_groups));
+    b.field("fused_lanes", static_cast<std::uint64_t>(cold.fused_lanes));
+    b.field("replay_fallbacks",
+            static_cast<std::uint64_t>(cold.replay_fallbacks));
+    b.field("lane_occupancy", occupancy);
+    b.end_object();
+    b.key("runs_detail");
+    b.begin_array();
+    for (const exec::RunRecord& r : cold.records) {
+      b.begin_object();
+      b.field("label", r.kernel + "." + r.klass + "/" + r.platform + "/" +
+                           std::to_string(r.threads) + "T/" + r.page_kind);
+      b.field("wall_ms", r.wall_ms);
+      b.field("source", r.trace_source);
+      b.field("cache_hit", r.cache_hit);
+      b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    std::ofstream os(bench_path);
+    if (!os) {
+      std::cerr << "cannot write --json-out=" << bench_path << "\n";
+      return 2;
+    }
+    os << b.str() << "\n";
+    std::cout << "wrote " << bench_path << "\n";
   }
 
   if (!identical) {

@@ -21,6 +21,14 @@ std::size_t auto_pool_pages(const RuntimeConfig& cfg) {
 
 }  // namespace
 
+std::size_t runtime_phys_bytes(const RuntimeConfig& cfg) {
+  return auto_phys_bytes(cfg);
+}
+
+std::size_t runtime_hugetlb_pool_pages(const RuntimeConfig& cfg) {
+  return auto_pool_pages(cfg);
+}
+
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
   LPOMP_CHECK_MSG(config_.num_threads >= 1, "need at least one thread");
 
@@ -46,7 +54,9 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
     machine_ = std::make_unique<sim::Machine>(
         config_.sim->spec, config_.sim->cost, *space_, config_.num_threads,
         config_.sim->seed);
-    if (config_.trace_sink != nullptr) {
+    if (config_.trace_hooks.armed()) {
+      machine_->set_trace_hooks(config_.trace_hooks);
+    } else if (config_.trace_sink != nullptr) {
       machine_->set_trace_sink(config_.trace_sink);
     }
   }

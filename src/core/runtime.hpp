@@ -79,7 +79,20 @@ struct RuntimeConfig {
   /// the hook src/trace's recorder captures address traces through. The
   /// sink must outlive the Runtime.
   sim::TraceSink* trace_sink = nullptr;
+
+  /// Pre-bound flat sink hooks (sim/trace_sink.hpp). When armed these take
+  /// precedence over trace_sink and skip the virtual dispatch — the bound
+  /// object must outlive the Runtime.
+  sim::SinkHooks trace_hooks{};
 };
+
+/// Simulated physical-memory size a Runtime built from `cfg` would use
+/// (cfg.phys_mem_bytes, or the automatic pool-derived sizing). Exposed so a
+/// replay substrate can reproduce the live run's memory layout exactly.
+std::size_t runtime_phys_bytes(const RuntimeConfig& cfg);
+
+/// Hugetlbfs pool pages a large2m Runtime built from `cfg` would preallocate.
+std::size_t runtime_hugetlb_pool_pages(const RuntimeConfig& cfg);
 
 class Runtime;
 

@@ -9,6 +9,7 @@
 
 #include "exec/json.hpp"
 #include "prof/profile.hpp"
+#include "trace/lane.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
@@ -29,6 +30,53 @@ ResultCache::Stats stats_delta(const ResultCache::Stats& after,
   d.insertions = after.insertions - before.insertions;
   d.evictions = after.evictions - before.evictions;
   return d;
+}
+
+/// Fills a record's outcome from any (verified, checksum, seconds, profile)
+/// source — shared by the live, replay and lane paths so all produce
+/// records through the exact same code.
+void fill_outcome(RunRecord& record, bool verified, double checksum,
+                  double simulated_seconds, const prof::ProfileReport& p) {
+  record.ok = true;
+  record.verified = verified;
+  record.checksum = checksum;
+  record.simulated_seconds = simulated_seconds;
+  using prof::ProfileReport;
+  record.cycles = p.count(ProfileReport::kCycles);
+  record.accesses = p.count(ProfileReport::kAccesses);
+  record.l1d_misses = p.count(ProfileReport::kL1dMiss);
+  record.l2_misses = p.count(ProfileReport::kL2Miss);
+  record.dtlb_l1_misses = p.count(ProfileReport::kDtlbL1Miss);
+  record.dtlb_walks_4k = p.count(ProfileReport::kDtlbWalk4k);
+  record.dtlb_walks_2m = p.count(ProfileReport::kDtlbWalk2m);
+  record.itlb_misses = p.count(ProfileReport::kItlbMiss);
+  record.walk_levels = p.count(ProfileReport::kWalkLevels);
+  record.long_stalls = p.count(ProfileReport::kLongStalls);
+}
+
+RunRecord execute_live(const RunTask& task, const sim::SinkHooks& hooks,
+                       RunRecord record) {
+  core::RuntimeConfig cfg;
+  cfg.num_threads = task.threads;
+  cfg.page_kind = task.page_kind;
+  cfg.code_page_kind = task.code_page_kind;
+  cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
+  cfg.trace_hooks = hooks;
+
+  const npb::NpbResult r = npb::run_kernel(task.kernel, task.klass, cfg);
+  fill_outcome(record, r.verified, r.checksum, r.simulated_seconds, r.profile);
+  return record;
+}
+
+trace::ReplayConfig replay_config(const RunTask& task) {
+  return trace::ReplayConfig{task.spec, task.cost, task.seed,
+                             task.code_page_kind};
+}
+
+std::string task_stream_key(const RunTask& task) {
+  return trace::trace_key(npb::kernel_name(task.kernel),
+                          npb::klass_name(task.klass), task.threads,
+                          task.page_kind);
 }
 
 }  // namespace
@@ -83,6 +131,9 @@ std::string SweepResult::summary_json(bool include_host) const {
                             : static_cast<double>(cache_hits()) /
                                   static_cast<double>(records.size()));
     w.field("cache_evictions", cache.evictions);
+    w.field("fused_groups", static_cast<std::uint64_t>(fused_groups));
+    w.field("fused_lanes", static_cast<std::uint64_t>(fused_lanes));
+    w.field("replay_fallbacks", static_cast<std::uint64_t>(replay_fallbacks));
   }
   w.end_object();
   return w.str();
@@ -114,6 +165,9 @@ ExperimentEngine::ExperimentEngine(Config config)
 
 void ExperimentEngine::set_task_runner(TaskRunner runner) {
   runner_ = std::move(runner);
+  // A substituted runner owns execution entirely; group fusion would bypass
+  // it for followers, so scheduling reverts to per-task submission.
+  custom_runner_ = true;
 }
 
 SweepResult ExperimentEngine::run(const SweepSpec& spec) {
@@ -187,6 +241,7 @@ SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
   SweepResult result;
   result.workers = pool_.workers();
   result.records.resize(planned.size());
+  FusedStats fused;
   // Each task writes its own pre-assigned slot, so the result order is the
   // task order no matter how the pool schedules.
   std::function<void(std::size_t)> submit_task =
@@ -205,19 +260,37 @@ SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
         });
       };
 
-  // A stream group's leader (its recording run) is submitted alone; the
+  // Group submission. With the default runner, a whole stream group becomes
+  // ONE fused multi-lane job: its leader runs live while every follower's
+  // simulator state tracks the same event stream as a lane (run_fused_group
+  // below) — no encode, no decode, one pool slot per group, groups still
+  // running in parallel across workers. With a custom runner (tests inject
+  // failures / count executions) or multilane off, the store-based schedule
+  // is kept: the leader (recording run) is submitted alone and the
   // followers enter the pool only once the leader has finished and the
-  // trace is in the store. Submitting whole groups up front would let a
-  // multi-worker pool run a pair concurrently — both miss the store and the
-  // stream is recorded twice instead of replayed. All locals captured here
-  // outlive the tasks: run() blocks in wait_idle() until every dynamically
-  // submitted follower has finished too.
+  // trace is in the store — submitting whole groups up front would let a
+  // multi-worker pool run a pair concurrently, recording the stream twice
+  // instead of replaying it. All locals captured here outlive the tasks:
+  // run() blocks in wait_idle() until every dynamically submitted follower
+  // has finished too.
+  const bool fuse_groups = config_.multilane && !custom_runner_;
   for (std::size_t g = 0; g < order.size();) {
     std::size_t end = g + 1;
     while (end < order.size() && rank[order[end]] == rank[order[g]]) ++end;
     const std::size_t lead = order[g];
     if (end - g == 1 || !planned[lead].trace_backed) {
       for (std::size_t j = g; j < end; ++j) submit_task(order[j]);
+    } else if (fuse_groups) {
+      std::vector<std::size_t> group(
+          order.begin() + static_cast<std::ptrdiff_t>(g),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+      const std::string* key = &stream_key[lead];
+      std::atomic<unsigned>* uses_left = &remaining.find(*key)->second;
+      pool_.submit([this, group = std::move(group), &planned, &result, key,
+                    uses_left, &fused] {
+        run_fused_group(group, planned, result.records, *key, *uses_left,
+                        fused);
+      });
     } else {
       std::vector<std::size_t> followers(order.begin() +
                                              static_cast<std::ptrdiff_t>(g) + 1,
@@ -240,7 +313,180 @@ SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
 
   result.wall_ms = ms_since(t0);
   result.cache = stats_delta(cache_.stats(), before);
+  result.fused_groups = fused.groups.load();
+  result.fused_lanes = fused.lanes.load();
+  result.replay_fallbacks = fused.fallbacks.load();
   return result;
+}
+
+void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
+                                       const std::vector<RunTask>& planned,
+                                       std::vector<RunRecord>& records,
+                                       const std::string& key,
+                                       std::atomic<unsigned>& uses_left,
+                                       FusedStats& fused) {
+  // The whole group's stream uses complete together; release the trace (if
+  // any) once at the end.
+  struct Release {
+    trace::TraceStore& store;
+    const std::string& key;
+    std::atomic<unsigned>& uses_left;
+    unsigned count;
+    ~Release() {
+      if (uses_left.fetch_sub(count) == count) store.erase(key);
+    }
+  } release{trace_store_, key, uses_left,
+            static_cast<unsigned>(group.size())};
+
+  // Cached grid points are served immediately; only the rest need lanes.
+  std::vector<std::size_t> todo;
+  for (const std::size_t i : group) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::optional<RunRecord> hit = cache_.lookup(cache_key(planned[i]))) {
+      hit->cache_hit = true;
+      hit->wall_ms = ms_since(t0);
+      records[i] = *hit;
+    } else {
+      todo.push_back(i);
+    }
+  }
+
+  // Solo fallback: a plain live run, trace backing off (nobody left to
+  // share the stream with inside a fused group).
+  auto run_solo = [this, &planned, &records](std::size_t i) {
+    RunTask solo = planned[i];
+    solo.trace_backed = false;
+    records[i] = run_one(solo);
+  };
+
+  if (todo.size() <= 1) {
+    for (const std::size_t i : todo) run_solo(i);
+    return;
+  }
+
+  // A stream already in the store (cross-sweep reuse, preloaded traces):
+  // one decode pass serves every remaining point as a lane. A trace the
+  // replay rejects is dropped and the group falls through to the live
+  // leader below — fallback, not failure.
+  if (std::shared_ptr<const trace::Trace> tr = trace_store_.lookup(key)) {
+    std::vector<std::size_t> lanes_idx;
+    std::vector<std::size_t> solos;
+    for (const std::size_t i : todo) {
+      (planned[i].threads <= planned[i].spec.total_contexts() ? lanes_idx
+                                                              : solos)
+          .push_back(i);
+    }
+    if (!lanes_idx.empty()) {
+      std::vector<trace::ReplayConfig> cfgs;
+      cfgs.reserve(lanes_idx.size());
+      for (const std::size_t i : lanes_idx) {
+        cfgs.push_back(replay_config(planned[i]));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      bool replayed = false;
+      try {
+        const std::vector<trace::ReplayOutcome> outs =
+            trace::MultiReplayDriver(std::move(cfgs)).run(*tr);
+        const double per_lane = ms_since(t0) /
+                                static_cast<double>(lanes_idx.size());
+        for (std::size_t k = 0; k < lanes_idx.size(); ++k) {
+          const std::size_t i = lanes_idx[k];
+          RunRecord record = base_record(planned[i]);
+          fill_outcome(record, outs[k].verified, outs[k].checksum,
+                       outs[k].simulated_seconds, outs[k].profile);
+          record.trace_source = "replay";
+          record.cache_hit = false;
+          record.wall_ms = per_lane;
+          cache_.insert(cache_key(planned[i]), record);
+          records[i] = record;
+        }
+        fused.groups.fetch_add(1);
+        fused.lanes.fetch_add(lanes_idx.size());
+        replayed = true;
+      } catch (const trace::TraceError&) {
+        trace_store_.erase(key);
+        fused.fallbacks.fetch_add(1);
+      }
+      if (replayed) {
+        for (const std::size_t i : solos) run_solo(i);
+        return;
+      }
+    } else {
+      for (const std::size_t i : solos) run_solo(i);
+      return;
+    }
+  }
+
+  // Live leader + lane fan-out: the first uncached point runs the kernel
+  // for real; every other point's simulator state tracks the leader's event
+  // stream as a lane, fed directly through the sink hooks.
+  const std::size_t lead = todo.front();
+  const RunTask& lead_task = planned[lead];
+  std::vector<std::size_t> solos;
+  std::vector<std::size_t> lane_idx;
+
+  trace::ReplaySubstrate substrate(lead_task.kernel, lead_task.klass,
+                                   lead_task.page_kind);
+  trace::LaneSet lanes(substrate, lead_task.threads);
+  for (std::size_t j = 1; j < todo.size(); ++j) {
+    const std::size_t i = todo[j];
+    try {
+      lanes.add_lane(replay_config(planned[i]));
+      lane_idx.push_back(i);
+    } catch (const trace::TraceError&) {
+      solos.push_back(i);  // does not fit this platform — runs (and fails
+                           // with its own diagnostics) on its own
+    }
+  }
+  trace::LaneFanout fanout(lanes);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RunRecord lead_record = base_record(lead_task);
+  bool lead_ok = true;
+  try {
+    lead_record = execute_live(
+        lead_task, lane_idx.empty() ? sim::SinkHooks{} : fanout.hooks(),
+        std::move(lead_record));
+  } catch (const std::exception& e) {
+    lead_record.ok = false;
+    lead_record.error = e.what();
+    lead_ok = false;
+  } catch (...) {
+    lead_record.ok = false;
+    lead_record.error = "unknown exception";
+    lead_ok = false;
+  }
+  lead_record.cache_hit = false;
+  lead_record.wall_ms = ms_since(t0);
+  if (lead_record.ok) cache_.insert(cache_key(lead_task), lead_record);
+  records[lead] = lead_record;
+
+  if (lead_ok && !lane_idx.empty()) {
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::string label = npb::kernel_name(lead_task.kernel) +
+                              std::string(".") +
+                              npb::klass_name(lead_task.klass);
+    for (std::size_t k = 0; k < lane_idx.size(); ++k) {
+      const std::size_t i = lane_idx[k];
+      const trace::ReplayOutcome out = lanes.outcome(
+          k, label, lead_record.verified, lead_record.checksum);
+      RunRecord record = base_record(planned[i]);
+      fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
+                   out.profile);
+      record.trace_source = "lane";
+      record.cache_hit = false;
+      record.wall_ms = ms_since(t1) / static_cast<double>(lane_idx.size());
+      cache_.insert(cache_key(planned[i]), record);
+      records[i] = record;
+    }
+    fused.groups.fetch_add(1);
+    fused.lanes.fetch_add(lane_idx.size());
+  } else if (!lead_ok) {
+    // The lanes saw a partial stream; discard them and isolate the failure
+    // to the leader — every follower gets its own untainted run.
+    solos.insert(solos.end(), lane_idx.begin(), lane_idx.end());
+  }
+  for (const std::size_t i : solos) run_solo(i);
 }
 
 RunRecord ExperimentEngine::run_one(const RunTask& task) {
@@ -282,71 +528,40 @@ RunRecord ExperimentEngine::base_record(const RunTask& task) {
   return record;
 }
 
-namespace {
-
-/// Fills a record's outcome from any (verified, checksum, seconds, profile)
-/// source — shared by the live and replay paths so both produce records
-/// through the exact same code.
-void fill_outcome(RunRecord& record, bool verified, double checksum,
-                  double simulated_seconds, const prof::ProfileReport& p) {
-  record.ok = true;
-  record.verified = verified;
-  record.checksum = checksum;
-  record.simulated_seconds = simulated_seconds;
-  using prof::ProfileReport;
-  record.cycles = p.count(ProfileReport::kCycles);
-  record.accesses = p.count(ProfileReport::kAccesses);
-  record.l1d_misses = p.count(ProfileReport::kL1dMiss);
-  record.l2_misses = p.count(ProfileReport::kL2Miss);
-  record.dtlb_l1_misses = p.count(ProfileReport::kDtlbL1Miss);
-  record.dtlb_walks_4k = p.count(ProfileReport::kDtlbWalk4k);
-  record.dtlb_walks_2m = p.count(ProfileReport::kDtlbWalk2m);
-  record.itlb_misses = p.count(ProfileReport::kItlbMiss);
-  record.walk_levels = p.count(ProfileReport::kWalkLevels);
-  record.long_stalls = p.count(ProfileReport::kLongStalls);
-}
-
-RunRecord execute_live(const RunTask& task, sim::TraceSink* sink,
-                       RunRecord record) {
-  core::RuntimeConfig cfg;
-  cfg.num_threads = task.threads;
-  cfg.page_kind = task.page_kind;
-  cfg.code_page_kind = task.code_page_kind;
-  cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
-  cfg.trace_sink = sink;
-
-  const npb::NpbResult r = npb::run_kernel(task.kernel, task.klass, cfg);
-  fill_outcome(record, r.verified, r.checksum, r.simulated_seconds, r.profile);
-  return record;
-}
-
-}  // namespace
-
 RunRecord ExperimentEngine::execute_task(const RunTask& task) {
-  return execute_live(task, nullptr, base_record(task));
+  return execute_live(task, sim::SinkHooks{}, base_record(task));
 }
 
 RunRecord ExperimentEngine::execute_task(const RunTask& task,
                                          trace::TraceStore* store) {
   if (store == nullptr || !task.trace_backed) return execute_task(task);
 
-  const std::string key =
-      trace::trace_key(npb::kernel_name(task.kernel),
-                       npb::klass_name(task.klass), task.threads,
-                       task.page_kind);
+  const std::string key = task_stream_key(task);
   if (std::shared_ptr<const trace::Trace> tr = store->lookup(key)) {
-    trace::ReplayDriver driver(trace::ReplayConfig{
-        task.spec, task.cost, task.seed, task.code_page_kind});
-    const trace::ReplayOutcome out = driver.run(*tr);
-    RunRecord record = base_record(task);
-    fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
-                 out.profile);
-    record.trace_source = "replay";
-    return record;
+    try {
+      trace::ReplayDriver driver(replay_config(task));
+      const trace::ReplayOutcome out = driver.run(*tr);
+      RunRecord record = base_record(task);
+      fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
+                   out.profile);
+      record.trace_source = "replay";
+      return record;
+    } catch (const trace::TraceError&) {
+      // Corrupt or inconsistent stored trace: drop it and serve the task
+      // live — the store is an accelerator, never a correctness dependency.
+      store->erase(key);
+      RunRecord record =
+          execute_live(task, sim::SinkHooks{}, base_record(task));
+      record.trace_source = "fallback";
+      return record;
+    }
   }
 
+  // TraceRecorder is final, so the bound hooks dispatch straight into the
+  // encoder — no vtable on the recording hot path.
   trace::TraceRecorder recorder(task.threads);
-  RunRecord record = execute_live(task, &recorder, base_record(task));
+  RunRecord record =
+      execute_live(task, sim::bind_sink(&recorder), base_record(task));
   trace::TraceMeta meta;
   meta.kernel = npb::kernel_name(task.kernel);
   meta.klass = npb::klass_name(task.klass);

@@ -19,6 +19,8 @@
 // returns normally.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -38,6 +40,12 @@ struct SweepResult {
   unsigned workers = 0;
   double wall_ms = 0.0;
   ResultCache::Stats cache;  ///< cache activity of THIS sweep only
+
+  // Multi-lane execution provenance (host-side; results are identical with
+  // or without fusion).
+  std::size_t fused_groups = 0;     ///< stream groups served multi-lane
+  std::size_t fused_lanes = 0;      ///< follower grid points covered as lanes
+  std::size_t replay_fallbacks = 0; ///< stored traces rejected → re-run live
 
   std::size_t completed() const;  ///< records with ok
   std::size_t failed() const;
@@ -63,6 +71,13 @@ class ExperimentEngine {
     std::size_t cache_capacity = 4096;
     /// Byte budget of the trace store backing trace_backed tasks.
     std::size_t trace_store_bytes = MiB(512);
+    /// Serve each address-stream group as one multi-lane task (leader runs
+    /// live, every follower is a lane tracking its event stream — no codec
+    /// round trip). Off → the leader records into the trace store and each
+    /// follower replays from it individually. Results are bit-identical
+    /// either way; this is purely an execution strategy (the --no-multilane
+    /// escape hatch in the benches flips it).
+    bool multilane = true;
   };
 
   /// Maps a task to its record; the default runs npb::run_kernel. Tests
@@ -90,7 +105,9 @@ class ExperimentEngine {
   /// the task's address stream is replayed from the store if a recording
   /// exists (trace_source="replay"), otherwise the live run records it for
   /// later tasks (trace_source="record"). Results are bit-identical to
-  /// execute_task(task) either way.
+  /// execute_task(task) either way. A stored trace the replay rejects
+  /// (corrupt bytes, inconsistent stream) is erased and the task re-runs
+  /// live (trace_source="fallback") — recoverable, never an abort.
   static RunRecord execute_task(const RunTask& task, trace::TraceStore* store);
 
   /// Config-echo fields + content-key digest, no run outcome (the skeleton
@@ -98,10 +115,30 @@ class ExperimentEngine {
   static RunRecord base_record(const RunTask& task);
 
  private:
+  /// Shared counters the fused-group jobs report into during one sweep.
+  struct FusedStats {
+    std::atomic<std::size_t> groups{0};
+    std::atomic<std::size_t> lanes{0};
+    std::atomic<std::size_t> fallbacks{0};
+  };
+
   RunRecord run_one(const RunTask& task);
+
+  /// Executes one address-stream group as a single fused job: cached points
+  /// are served first; if the store already holds the stream, the rest run
+  /// as lanes of one MultiReplayDriver pass; otherwise the first uncached
+  /// point runs live with a LaneFanout feeding the others as lanes. Any
+  /// point the group strategy cannot serve (lane rejected, leader failed,
+  /// trace rejected with no leader to piggyback on) falls back to a solo
+  /// live run — failure isolation is per grid point, exactly as unfused.
+  void run_fused_group(const std::vector<std::size_t>& group,
+                       const std::vector<RunTask>& planned,
+                       std::vector<RunRecord>& records, const std::string& key,
+                       std::atomic<unsigned>& uses_left, FusedStats& fused);
 
   Config config_;
   TaskRunner runner_;
+  bool custom_runner_ = false;
   ResultCache cache_;
   trace::TraceStore trace_store_;
   WorkStealingPool pool_;

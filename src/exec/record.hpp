@@ -50,9 +50,11 @@ struct RunRecord {
   bool cache_hit = false;
   double wall_ms = 0.0;
   /// How this result was produced: "live" (full kernel run), "record"
-  /// (live run that also captured a trace) or "replay" (trace replay).
-  /// Scheduling decides which task records vs replays, so this is
-  /// provenance, not part of the deterministic result.
+  /// (live run that also captured a trace), "replay" (trace replay),
+  /// "lane" (lane of a fused multi-lane group tracking a live leader) or
+  /// "fallback" (stored trace rejected, re-run live). Scheduling decides
+  /// which task takes which path, so this is provenance, not part of the
+  /// deterministic result.
   std::string trace_source = "live";
 
   /// True when every deterministic field above matches — the equality the

@@ -84,6 +84,13 @@ class AddressSpace {
 
   count_t promotions() const { return promotions_; }
 
+  /// Base address the *next* map_region of this kind would receive. Lets a
+  /// replay substrate compute the VA a region (e.g. the text mapping) would
+  /// occupy without actually materialising its page-table entries.
+  vaddr_t peek_region_base(PageKind kind) const {
+    return next_base_[static_cast<std::size_t>(kind)];
+  }
+
   std::vector<Region> regions() const;
 
  private:

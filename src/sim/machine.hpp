@@ -82,7 +82,11 @@ class Machine {
   /// Attach (or detach, with nullptr) an access-trace sink: every thread
   /// reports its events under its tid, and the fork-join boundaries are
   /// reported in machine order. See sim/trace_sink.hpp for the contract.
-  void set_trace_sink(TraceSink* sink);
+  void set_trace_sink(TraceSink* sink) { set_trace_hooks(bind_sink(sink)); }
+
+  /// Same attachment with pre-bound flat hooks (bind_sink<ConcreteSink>
+  /// devirtualises the per-event reporting). Disarmed hooks detach.
+  void set_trace_hooks(const SinkHooks& hooks);
 
  private:
   ProcessorSpec spec_;
@@ -93,7 +97,7 @@ class Machine {
   ThreadCounters serial_mark_;                // master snapshot at last boundary
   bool in_parallel_ = false;
   cycles_t total_cycles_ = 0;
-  TraceSink* trace_ = nullptr;
+  SinkHooks hooks_{};
 };
 
 }  // namespace lpomp::sim

@@ -21,6 +21,8 @@
 // reference configuration used for golden generation and the oracle).
 #pragma once
 
+#include <vector>
+
 #include "cache/cache.hpp"
 #include "mem/address_space.hpp"
 #include "sim/cost_model.hpp"
@@ -74,7 +76,9 @@ class ThreadSim {
   /// Account one data access to simulated address `addr`, living in a region
   /// backed by pages of `kind`.
   void touch(vaddr_t addr, PageKind kind, Access access) {
-    if (trace_ != nullptr) trace_->on_touch(trace_tid_, addr, kind, access);
+    if (sink_.ctx != nullptr) {
+      sink_.touch(sink_.ctx, trace_tid_, addr, kind, access);
+    }
     account_one(addr, kind, access);
   }
 
@@ -91,23 +95,33 @@ class ThreadSim {
 
   /// Charge pure compute work (FP arithmetic etc.) that does not touch memory.
   void add_compute(cycles_t cycles) {
-    if (trace_ != nullptr) trace_->on_compute(trace_tid_, cycles);
+    if (sink_.ctx != nullptr) sink_.compute(sink_.ctx, trace_tid_, cycles);
     counters_.exec_cycles += cycles;
   }
 
   /// Drive `periods` repetitions of a periodic pattern through the machine
   /// model — semantically identical to issuing every touch/run/compute
-  /// individually, without the per-event call overhead. Mutates the slots'
-  /// addresses in place. An attached trace sink observes the same events,
-  /// with the same framing, a live run issuing these slots would report —
+  /// individually, without the per-event call overhead. The slots are read
+  /// only (per-period address advance happens in a local copy), so one
+  /// decoded block can be applied to any number of independent lane
+  /// simulators. An attached trace sink observes the same events, with the
+  /// same framing, a live run issuing these slots would report —
   /// re-recording a replay reproduces the original stream.
-  void replay_pattern(ReplaySlot* slots, std::size_t count,
+  void replay_pattern(const ReplaySlot* slots, std::size_t count,
                       std::uint64_t periods);
 
   /// Attach (or detach, with nullptr) an access-trace sink. Every subsequent
   /// touch/touch_run/add_compute is reported as thread `tid` of the sink.
+  /// Calls route through SinkHooks thunks that carry the virtual dispatch;
+  /// set_sink_hooks with bind_sink<ConcreteSink> avoids it entirely.
   void set_trace_sink(TraceSink* sink, unsigned tid) {
-    trace_ = sink;
+    set_sink_hooks(bind_sink(sink), tid);
+  }
+
+  /// Attach pre-bound flat sink hooks (see sim/trace_sink.hpp). A disarmed
+  /// SinkHooks{} detaches.
+  void set_sink_hooks(const SinkHooks& hooks, unsigned tid) {
+    sink_ = hooks;
     trace_tid_ = tid;
   }
 
@@ -149,6 +163,15 @@ class ThreadSim {
   /// reporting on top (touch_run reports one run event, then accounts each
   /// element through here so the machine-model behaviour is unchanged).
   void touch_impl(vaddr_t addr, PageKind kind, Access access);
+
+  /// Body of replay_pattern, compiled separately for the sinked and
+  /// sink-free cases: the replay hot path (kSinked = false, the common
+  /// case) carries no per-slot sink tests and dispatches every data slot
+  /// straight into run_elems — no virtual calls, no re-canonicalisation
+  /// through the public entry points.
+  template <bool kSinked>
+  void replay_slots(const ReplaySlot* slots, std::size_t count,
+                    std::uint64_t periods);
 
   /// One access with the single-event fast path: when the L1 DTLB MRU and
   /// L1 cache MRU both cover `addr` and no instruction jump is due, the
@@ -223,8 +246,13 @@ class ThreadSim {
   Stream streams_[kStreams];
   unsigned stream_rr_ = 0;
 
-  TraceSink* trace_ = nullptr;
+  SinkHooks sink_{};
   unsigned trace_tid_ = 0;
+
+  /// Mutable working copy of a multi-period replay block (the shared block
+  /// storage stays read-only so lanes can share it). Grows to the largest
+  /// block seen (≤ the codec batch size) and is reused across calls.
+  std::vector<ReplaySlot> replay_scratch_;
 
   bool fast_path_ = default_fast_path_;
   inline static bool default_fast_path_ = true;

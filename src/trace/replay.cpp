@@ -1,105 +1,14 @@
 #include "trace/replay.hpp"
 
-#include <vector>
-
-#include "core/runtime.hpp"
+#include "trace/lane.hpp"
 
 namespace lpomp::trace {
 
 ReplayOutcome ReplayDriver::run(const Trace& trace) const {
-  const npb::Kernel kernel = kernel_from_name(trace.meta.kernel);
-  const npb::Klass klass = klass_from_name(trace.meta.klass);
-
-  if (trace.meta.threads == 0 ||
-      trace.streams.size() != trace.meta.threads) {
-    throw TraceError("trace: stream count does not match thread count");
-  }
-  if (trace.meta.threads > config_.spec.total_contexts()) {
-    throw TraceError("trace: " + std::to_string(trace.meta.threads) +
-                     " threads exceed hardware contexts of " +
-                     config_.spec.name);
-  }
-
-  // Rebuild the substrate of the recording run: same pool sizing and page
-  // kind reproduce the page-table layout, so every recorded virtual address
-  // translates exactly as it did live; the replay knobs only enter through
-  // the machine attachment and the code mapping.
-  core::RuntimeConfig cfg;
-  cfg.num_threads = trace.meta.threads;
-  cfg.page_kind = trace.meta.page_kind;
-  cfg.shared_pool_bytes = npb::pool_bytes_for(kernel, klass);
-  cfg.code_page_kind = config_.code_page_kind;
-  cfg.sim = core::SimConfig{config_.spec, config_.cost, config_.seed};
-  core::Runtime rt(cfg);
-
-  const npb::CodeModel cm = npb::code_model(kernel);
-  rt.attach_code_model(static_cast<std::size_t>(npb::binary_bytes(kernel)),
-                       cm.jump_period, cm.cold_fraction,
-                       config_.code_page_kind);
-
-  sim::Machine* m = rt.machine();
-  if (config_.resink != nullptr) m->set_trace_sink(config_.resink);
-
-  std::vector<ThreadDecoder> decoders;
-  decoders.reserve(trace.streams.size());
-  for (const std::string& stream : trace.streams) {
-    decoders.emplace_back(stream);
-  }
-
-  // Drain each thread's stream up to its next SEGMENT marker, then apply the
-  // global boundary — the exact order the live run's Machine observed its
-  // counter snapshots in. Threads are independent between boundaries, so
-  // feeding them one after another is equivalent to the live interleaving.
-  // Every event arrives inside a pattern block (periodic repeats in bulk,
-  // everything else as single-period batches), so the whole stream is driven
-  // through the simulator without per-event dispatch.
-  ThreadDecoder::Block block;
-  auto feed_segment = [m, &block](ThreadDecoder& dec, unsigned tid) {
-    sim::ThreadSim& ts = m->thread(tid);
-    while (true) {
-      if (!dec.next_block(block)) {
-        throw TraceError("trace: stream ended before its last boundary");
-      }
-      switch (block.kind) {
-        case ThreadDecoder::Block::Kind::segment:
-          return;
-        case ThreadDecoder::Block::Kind::pattern:
-          // Decoder slots are the simulator's replay type; feed them through
-          // unmodified (replay_pattern advances the addresses in place, and
-          // the block's storage is reset by the next next_block call).
-          ts.replay_pattern(block.pattern.data(), block.pattern.size(),
-                            block.periods);
-          break;
-        case ThreadDecoder::Block::Kind::end:
-          throw TraceError("trace: stream ended before its last boundary");
-      }
-    }
-  };
-
-  for (const sim::BoundaryKind boundary : trace.boundaries) {
-    for (unsigned tid = 0; tid < trace.meta.threads; ++tid) {
-      feed_segment(decoders[tid], tid);
-    }
-    switch (boundary) {
-      case sim::BoundaryKind::begin_parallel: m->begin_parallel(); break;
-      case sim::BoundaryKind::end_parallel: m->end_parallel(); break;
-      case sim::BoundaryKind::end_run: m->end_run(); break;
-    }
-  }
-  for (ThreadDecoder& dec : decoders) {
-    if (dec.next_block(block) ||
-        block.kind != ThreadDecoder::Block::Kind::end) {
-      throw TraceError("trace: events recorded after the last boundary");
-    }
-  }
-
-  ReplayOutcome out;
-  out.simulated_seconds = m->seconds();
-  out.profile = prof::ProfileReport::from_machine(
-      *m, trace.meta.kernel + "." + trace.meta.klass);
-  out.verified = trace.meta.verified;
-  out.checksum = trace.meta.checksum;
-  return out;
+  // A single-lane replay is the one-lane case of the multi-lane driver:
+  // same validation, same decode loop, same substrate — kept as the
+  // convenience entry point every existing caller and test uses.
+  return MultiReplayDriver({config_}).run(trace).front();
 }
 
 }  // namespace lpomp::trace

@@ -20,8 +20,14 @@
 // base seed, LPOMP_DIFF_STREAMS the stream count, and LPOMP_SEED_CORPUS
 // names a file to which every exercised (platform, stream, seed) triple is
 // appended (CI uploads it as the differential seed corpus artifact).
+//
+// The lane-identity property (DESIGN.md §8) rides the same harness: for
+// randomized recorded streams, every lane of an N-lane MultiReplayDriver
+// pass must equal its standalone single-lane replay counter-for-counter.
+// LPOMP_LANE_STREAMS scales that test's stream count independently.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
@@ -30,10 +36,15 @@
 #include <vector>
 
 #include "mem/address_space.hpp"
+#include "npb/npb.hpp"
 #include "oracle/reference_sim.hpp"
 #include "sim/processor_spec.hpp"
 #include "sim/thread_sim.hpp"
 #include "support/rng.hpp"
+#include "trace/codec.hpp"
+#include "trace/lane.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
 
 namespace lpomp {
 namespace {
@@ -384,6 +395,216 @@ TEST(SimDifferential, OpteronFastPathMatchesReference) {
 
 TEST(SimDifferential, XeonFastPathMatchesReference) {
   run_platform(sim::ProcessorSpec::xeon_ht());
+}
+
+// --- lane identity ----------------------------------------------------------
+//
+// Property: for a randomized recorded stream, every lane of an N-lane
+// MultiReplayDriver pass equals its standalone single-lane replay
+// counter-for-counter. The lanes deliberately differ in every replay knob
+// (platform, seed, code page kind), so any cross-lane state leak — shared
+// structure, misapplied event, boundary skew — shows up as a counter
+// divergence against the lane's solo run.
+
+constexpr int kDefaultLaneStreams = 25;
+
+int lane_stream_count() {
+  if (const char* env = std::getenv("LPOMP_LANE_STREAMS")) {
+    return std::atoi(env);
+  }
+  return kDefaultLaneStreams;
+}
+
+::testing::AssertionResult outcomes_identical(const trace::ReplayOutcome& a,
+                                              const trace::ReplayOutcome& b) {
+  std::ostringstream os;
+  bool same = true;
+  if (a.simulated_seconds != b.simulated_seconds) {
+    os << " simulated_seconds=" << a.simulated_seconds << " vs "
+       << b.simulated_seconds;
+    same = false;
+  }
+  if (a.verified != b.verified || a.checksum != b.checksum) {
+    os << " verified/checksum differ";
+    same = false;
+  }
+  const auto& ea = a.profile.events();
+  const auto& eb = b.profile.events();
+  if (ea.size() != eb.size()) {
+    os << " event count " << ea.size() << " vs " << eb.size();
+    same = false;
+  } else {
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].name != eb[i].name || ea[i].count != eb[i].count ||
+          ea[i].per_second != eb[i].per_second) {
+        os << " " << ea[i].name << "=" << ea[i].count << "@" << ea[i].per_second
+           << " vs " << eb[i].name << "=" << eb[i].count << "@"
+           << eb[i].per_second;
+        same = false;
+      }
+    }
+  }
+  if (same) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << os.str();
+}
+
+/// Builds a synthetic two-thread trace whose addresses live inside the
+/// shared pool the replay substrate rebuilds for (CG, S, `kind`). The event
+/// mix covers every encoder framing: single touches, unit-stride runs,
+/// strided runs (forward/backward/page-striding), compute charges, and a
+/// periodic motif long enough to close into a REPEAT block with periods —
+/// the pattern path MultiReplayDriver shares across lanes.
+trace::Trace make_lane_trace(std::uint64_t seed, PageKind kind,
+                             vaddr_t pool_base, std::size_t window) {
+  constexpr unsigned kThreads = 2;
+  Rng gen(seed);
+  std::vector<trace::ThreadEncoder> enc(kThreads);
+
+  trace::Trace tr;
+  tr.meta.kernel = "CG";
+  tr.meta.klass = "S";
+  tr.meta.threads = kThreads;
+  tr.meta.page_kind = kind;
+  tr.meta.platform = "synthetic";
+  tr.meta.seed = seed;
+  tr.meta.verified = true;
+  tr.meta.checksum = static_cast<double>(seed >> 8);
+
+  auto emit_ops = [&](trace::ThreadEncoder& e) {
+    const unsigned n_ops = 1 + static_cast<unsigned>(gen.next_below(8));
+    for (unsigned op = 0; op < n_ops; ++op) {
+      const Access access =
+          gen.next_below(3) == 0 ? Access::store : Access::load;
+      const std::uint64_t roll = gen.next_below(100);
+      if (roll < 30) {
+        e.touch(pool_base + 8 * gen.next_below(window / 8), kind, access);
+      } else if (roll < 50) {
+        auto n = static_cast<std::uint64_t>(1 + gen.next_below(400));
+        if (n > window / 8) n = window / 8;
+        const vaddr_t addr = pool_base + 8 * gen.next_below(window / 8 - n + 1);
+        e.touch_run(addr, n, kind, access);
+      } else if (roll < 70) {
+        static constexpr std::int64_t kStrides[] = {-4096, -72, -64, -8, 0,
+                                                    8,     16,  64,  72, 520,
+                                                    4096};
+        const std::int64_t stride =
+            kStrides[gen.next_below(sizeof(kStrides) / sizeof(kStrides[0]))];
+        const std::uint64_t mag =
+            stride < 0 ? static_cast<std::uint64_t>(-stride)
+                       : static_cast<std::uint64_t>(stride);
+        auto n = static_cast<std::uint64_t>(2 + gen.next_below(100));
+        if (mag != 0) {
+          const std::uint64_t max_n = (window - 8) / mag + 1;
+          if (n > max_n) n = max_n;
+        }
+        const std::uint64_t span = mag * (n - 1);
+        const vaddr_t slack = 8 * gen.next_below((window - 8 - span) / 8 + 1);
+        const vaddr_t addr =
+            stride >= 0 ? pool_base + slack : pool_base + span + slack;
+        e.touch_strided(addr, n, stride, kind, access);
+      } else if (roll < 82) {
+        e.compute(static_cast<cycles_t>(gen.next_below(500)));
+      } else {
+        // Periodic motif: constant per-iteration deltas, enough iterations
+        // for the encoder's repeat detector to emit a multi-period block.
+        const unsigned reps = 4 + static_cast<unsigned>(gen.next_below(45));
+        const vaddr_t a0 = pool_base + 8 * gen.next_below((window / 4) / 8);
+        const vaddr_t a1 = pool_base + window / 2;
+        const auto cycles = static_cast<cycles_t>(1 + gen.next_below(40));
+        for (unsigned r = 0; r < reps; ++r) {
+          e.touch(a0 + static_cast<vaddr_t>(r) * 64, kind, access);
+          e.touch_run(a1 + static_cast<vaddr_t>(r) * 512, 8, kind, access);
+          e.compute(cycles);
+        }
+      }
+    }
+  };
+
+  auto cut = [&](sim::BoundaryKind b) {
+    tr.boundaries.push_back(b);
+    for (auto& e : enc) e.segment();
+  };
+
+  // Live boundary shape: serial prelude (master only), 1–3 parallel
+  // regions (all threads), serial tail, end_run.
+  const unsigned phases = 1 + static_cast<unsigned>(gen.next_below(3));
+  for (unsigned p = 0; p < phases; ++p) {
+    if (gen.next_below(2) == 0) emit_ops(enc[0]);
+    cut(sim::BoundaryKind::begin_parallel);
+    for (auto& e : enc) emit_ops(e);
+    cut(sim::BoundaryKind::end_parallel);
+  }
+  emit_ops(enc[0]);
+  cut(sim::BoundaryKind::end_run);
+
+  for (auto& e : enc) {
+    e.finish();
+    tr.streams.push_back(e.take_bytes());
+  }
+  return tr;
+}
+
+TEST(SimDifferential, LaneIdentityMatchesSingleLaneReplay) {
+  const std::uint64_t seed0 = base_seed();
+  const int streams = lane_stream_count();
+
+  // Pool base per page kind: the substrate maps the shared pool first, so
+  // it lands at the arena base a fresh address space reports.
+  vaddr_t base_of[2];
+  {
+    mem::PhysMem pm{MiB(4)};
+    mem::AddressSpace probe{pm};
+    base_of[0] = probe.peek_region_base(PageKind::small4k);
+    base_of[1] = probe.peek_region_base(PageKind::large2m);
+  }
+  const std::size_t window =
+      std::min(npb::pool_bytes_for(trace::kernel_from_name("CG"),
+                                   trace::klass_from_name("S")),
+               MiB(2));
+  ASSERT_GE(window, KiB(128));
+
+  std::ostringstream corpus;
+  for (int stream = 0; stream < streams; ++stream) {
+    const std::uint64_t seed =
+        seed0 ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(stream + 1));
+    corpus << "lane " << stream << " 0x" << std::hex << seed << std::dec
+           << '\n';
+    const PageKind kind =
+        stream % 2 == 0 ? PageKind::small4k : PageKind::large2m;
+    const trace::Trace tr =
+        make_lane_trace(seed, kind, base_of[stream % 2], window);
+
+    // Four lanes spanning both platforms, distinct seeds, both code page
+    // kinds — every replay knob varies across the set.
+    std::vector<trace::ReplayConfig> cfgs(4);
+    cfgs[0].spec = sim::ProcessorSpec::opteron270();
+    cfgs[1].spec = sim::ProcessorSpec::xeon_ht();
+    cfgs[2].spec = sim::ProcessorSpec::opteron270();
+    cfgs[3].spec = sim::ProcessorSpec::xeon_ht();
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      cfgs[i].seed = seed0 + 0x9e37 * (i % 3);
+      cfgs[i].code_page_kind =
+          i < 2 ? PageKind::small4k : PageKind::large2m;
+    }
+
+    const std::vector<trace::ReplayOutcome> multi =
+        trace::MultiReplayDriver(cfgs).run(tr);
+    ASSERT_EQ(multi.size(), cfgs.size());
+    for (std::size_t lane = 0; lane < cfgs.size(); ++lane) {
+      const trace::ReplayOutcome solo = trace::ReplayDriver(cfgs[lane]).run(tr);
+      ASSERT_TRUE(outcomes_identical(multi[lane], solo))
+          << "lane=" << lane << " spec=" << cfgs[lane].spec.name
+          << " stream=" << stream << " page_kind=" << static_cast<int>(kind)
+          << " stream_seed=0x" << std::hex << seed << " base_seed=0x" << seed0
+          << std::dec << " (rerun with LPOMP_DIFF_SEED=0x" << std::hex << seed0
+          << std::dec << ")";
+    }
+  }
+
+  if (const char* path = std::getenv("LPOMP_SEED_CORPUS")) {
+    std::ofstream out(path, std::ios::app);
+    out << corpus.str();
+  }
 }
 
 // The reference configuration switch itself: a ThreadSim constructed while

@@ -141,35 +141,131 @@ TEST(TraceReplay, Figure4GridIdentity) {
 }
 
 // End-to-end through the engine: a trace-backed sweep equals a live sweep
-// record-for-record, and the engine's store served replays.
+// record-for-record, under both execution strategies — the default fused
+// multi-lane schedule (stream groups served by one live leader plus lanes)
+// and the store-based record/replay schedule (multilane off).
 TEST(TraceReplay, EngineSweepMatchesLive) {
   exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 4);
   spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
   spec.platforms.push_back(sim::ProcessorSpec::xeon_ht());
 
   spec.trace_backed = true;
-  exec::ExperimentEngine traced;
-  const exec::SweepResult with_traces = traced.run(spec);
+  exec::ExperimentEngine fused;
+  const exec::SweepResult multilane = fused.run(spec);
+
+  exec::ExperimentEngine::Config store_cfg;
+  store_cfg.multilane = false;
+  exec::ExperimentEngine store_backed(store_cfg);
+  const exec::SweepResult via_store = store_backed.run(spec);
 
   spec.trace_backed = false;
   exec::ExperimentEngine plain;
   const exec::SweepResult live = plain.run(spec);
 
-  ASSERT_EQ(with_traces.records.size(), live.records.size());
+  ASSERT_EQ(multilane.records.size(), live.records.size());
+  ASSERT_EQ(via_store.records.size(), live.records.size());
+  std::size_t lanes_seen = 0;
   for (std::size_t i = 0; i < live.records.size(); ++i) {
-    EXPECT_TRUE(live.records[i].same_result(with_traces.records[i]))
+    EXPECT_TRUE(live.records[i].same_result(multilane.records[i]))
+        << live.records[i].kernel;
+    EXPECT_TRUE(live.records[i].same_result(via_store.records[i]))
         << live.records[i].kernel;
     EXPECT_EQ(live.records[i].trace_source, "live");
+    lanes_seen += multilane.records[i].trace_source == "lane" ? 1 : 0;
   }
-  const trace::TraceStore::Stats ts = traced.trace_store().stats();
+  // The grid has two platforms per stream: the fused schedule must actually
+  // have covered the second platform's points as lanes...
+  EXPECT_GT(multilane.fused_groups, 0u);
+  EXPECT_EQ(multilane.fused_lanes, lanes_seen);
+  EXPECT_GT(lanes_seen, 0u);
+  EXPECT_EQ(multilane.replay_fallbacks, 0u);
+  // ...without touching the codec or the store at all.
+  EXPECT_EQ(fused.trace_store().stats().insertions, 0u);
+
+  // The store-based schedule must have recorded and replayed for real.
+  const trace::TraceStore::Stats ts = store_backed.trace_store().stats();
   EXPECT_GT(ts.hits, 0u);
   // The engine releases each stream after its last use, so nothing stays
   // resident once the sweep completes.
   EXPECT_GT(ts.released, 0u);
   EXPECT_EQ(ts.traces, 0u);
-  // Deterministic JSON must be identical across the two strategies;
+  EXPECT_EQ(via_store.fused_groups, 0u);
+  // Deterministic JSON must be identical across all three strategies;
   // trace_source is host-only provenance.
-  EXPECT_EQ(with_traces.to_json(false), live.to_json(false));
+  EXPECT_EQ(multilane.to_json(false), live.to_json(false));
+  EXPECT_EQ(via_store.to_json(false), live.to_json(false));
+}
+
+// A corrupt trace in the store must not poison a fused group: the engine
+// drops the entry, counts a fallback, and serves every grid point live —
+// bit-identical to an untraced sweep.
+TEST(TraceReplay, FusedGroupFallsBackOnCorruptTrace) {
+  exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 2);
+  spec.kernels = {npb::Kernel::CG};
+  spec.platforms.push_back(sim::ProcessorSpec::xeon_ht());
+  spec.trace_backed = true;
+
+  exec::ExperimentEngine engine;
+  // Preload both stream keys with garbage that decodes but cannot replay.
+  for (const PageKind pages : {PageKind::small4k, PageKind::large2m}) {
+    trace::Trace garbage;
+    garbage.meta.kernel = "CG";
+    garbage.meta.klass = "S";
+    garbage.meta.threads = 2;
+    garbage.meta.page_kind = pages;
+    garbage.meta.verified = true;
+    garbage.streams = {std::string("\x7f\x7f\x7f", 3),
+                       std::string("\x7f\x7f\x7f", 3)};
+    garbage.boundaries = {sim::BoundaryKind::end_run};
+    engine.trace_store().insert(garbage.key(), garbage);
+  }
+  const exec::SweepResult traced = engine.run(spec);
+
+  spec.trace_backed = false;
+  exec::ExperimentEngine plain;
+  const exec::SweepResult live = plain.run(spec);
+
+  EXPECT_GT(traced.replay_fallbacks, 0u);
+  ASSERT_EQ(traced.records.size(), live.records.size());
+  for (std::size_t i = 0; i < live.records.size(); ++i) {
+    EXPECT_TRUE(live.records[i].same_result(traced.records[i]))
+        << live.records[i].kernel;
+    EXPECT_TRUE(traced.records[i].ok);
+  }
+  EXPECT_EQ(traced.to_json(false), live.to_json(false));
+}
+
+// Same hardening on the static path: a stored trace the replay rejects is
+// erased and the task re-runs live with trace_source="fallback".
+TEST(TraceReplay, ExecuteTaskFallsBackOnCorruptTrace) {
+  exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 2);
+  spec.kernels = {npb::Kernel::MG};
+  spec.trace_backed = true;
+  const std::vector<exec::RunTask> tasks = spec.expand();
+  ASSERT_FALSE(tasks.empty());
+  const exec::RunTask& task = tasks.front();
+
+  trace::TraceStore store;
+  trace::Trace garbage;
+  garbage.meta.kernel = "MG";
+  garbage.meta.klass = "S";
+  garbage.meta.threads = task.threads;
+  garbage.meta.page_kind = task.page_kind;
+  garbage.streams.assign(task.threads, std::string("\x7f\x7f\x7f", 3));
+  garbage.boundaries = {sim::BoundaryKind::end_run};
+  const std::string key = garbage.key();
+  store.insert(key, garbage);
+
+  const exec::RunRecord rec = exec::ExperimentEngine::execute_task(task, &store);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.trace_source, "fallback");
+  // The poisoned entry is gone; the next pass records a fresh trace.
+  EXPECT_EQ(store.lookup(key), nullptr);
+  const exec::RunRecord live = exec::ExperimentEngine::execute_task(task);
+  EXPECT_TRUE(live.same_result(rec));
+  const exec::RunRecord again = exec::ExperimentEngine::execute_task(task, &store);
+  EXPECT_EQ(again.trace_source, "record");
+  EXPECT_TRUE(live.same_result(again));
 }
 
 // Store bookkeeping: erase() drops an entry (freeing its budget share)
