@@ -105,23 +105,28 @@ inline std::string improvement(double t4k, double t2m) {
 /// BT/FT trace runs to several hundred MB): a trace larger than the whole
 /// budget is never stored, and its second use silently re-records.
 /// --no-multilane disables fused multi-lane groups (the record/replay
-/// store path serves stream groups instead; results are bit-identical).
+/// store path serves stream groups instead); --no-analytic disables the
+/// compiled-plan analytic fast-forward tier (replays interpret every
+/// block). Results are bit-identical under any combination.
 inline exec::ExperimentEngine make_engine(const Options& opts) {
   exec::ExperimentEngine::Config cfg;
   cfg.workers = static_cast<unsigned>(opts.get_int("workers", 0));
   cfg.trace_store_bytes =
       MiB(static_cast<std::size_t>(opts.get_int("trace-store-mb", 2048)));
   cfg.multilane = !opts.get_flag("no-multilane");
+  cfg.analytic = !opts.get_flag("no-analytic");
   return exec::ExperimentEngine(cfg);
 }
 
 /// Trace provenance counts of a sweep: how many records came from each of
-/// "live", "record", "replay", "lane" (fused multi-lane follower) and
-/// "fallback" (rejected trace re-run live).
+/// "live", "record", "replay" (interpreted), "analytic" (compiled-plan
+/// fast-forward replay), "lane" (fused multi-lane follower) and "fallback"
+/// (rejected trace re-run live).
 struct TraceProvenance {
   std::size_t live = 0;
   std::size_t record = 0;
   std::size_t replay = 0;
+  std::size_t analytic = 0;
   std::size_t lane = 0;
   std::size_t fallback = 0;
 };
@@ -133,6 +138,8 @@ inline TraceProvenance trace_provenance(const exec::SweepResult& result) {
       ++p.record;
     } else if (r.trace_source == "replay") {
       ++p.replay;
+    } else if (r.trace_source == "analytic") {
+      ++p.analytic;
     } else if (r.trace_source == "lane") {
       ++p.lane;
     } else if (r.trace_source == "fallback") {

@@ -9,13 +9,16 @@
 //   * Figure 3 — aggregate ITLB miss rate at 4 threads (negligible).
 //
 // The sweep is trace-backed by default: each unique address stream
-// (kernel × class × threads × page kind) is served as one fused multi-lane
-// group — the first grid point runs live while every other platform/seed
-// point tracks it as a lane, skipping the kernel numerics without changing
-// a single counter. --no-multilane falls back to the record-then-replay
-// trace store path, --no-trace runs everything live; all three produce
-// bit-identical grids. --replay-check replays every recordable task
-// against its live run and verifies bit-identity across the whole grid.
+// (kernel × class × threads × page kind) is served as one fused group —
+// the first grid point runs live while recording, the stream is compiled
+// into a TracePlan once, and every other platform/seed point replays the
+// plan with the analytic fast-forward tier, skipping the kernel numerics
+// without changing a single counter. --no-analytic drops to live-leader
+// lane fan-out, --no-multilane falls back to the record-then-replay trace
+// store path (analytic plan replays unless --no-analytic too), --no-trace
+// runs everything live; every combination produces bit-identical grids.
+// --replay-check runs every recordable task live, interpreted-replayed and
+// analytic-replayed, and verifies three-way bit-identity across the grid.
 //
 // --json-out=BENCH_sweep.json writes the machine-readable perf summary CI
 // trends: cold/warm wall-clock, warm cache-hit rate, lane occupancy, and a
@@ -28,6 +31,9 @@
 // record; by default only deterministic fields are emitted, so
 //   sweep_all --workers=1 --json=a.json && sweep_all --workers=8 --json=b.json
 // produces byte-identical files — the engine's determinism guarantee.
+#include <map>
+#include <utility>
+
 #include "bench/bench_common.hpp"
 #include "exec/json.hpp"
 #include "trace/replay.hpp"
@@ -36,31 +42,44 @@ using namespace lpomp;
 
 namespace {
 
-/// --replay-check: for every task, a forced live run and a trace-store-fed
-/// run (record on first sight of the stream, replay afterwards) must agree
-/// on every deterministic counter. Returns the number of mismatches.
+/// --replay-check: for every task, a forced live run, a trace-store-fed
+/// interpreted run (record on first sight of the stream, replay
+/// afterwards) and an analytic compiled-plan replay must all agree on
+/// every deterministic counter. Returns the number of mismatches.
 std::size_t replay_check(const std::vector<exec::RunTask>& tasks,
                          std::size_t trace_store_bytes) {
   trace::TraceStore store(trace_store_bytes);
   std::size_t mismatches = 0;
   std::size_t replays = 0;
+  std::size_t analytic_replays = 0;
   for (const exec::RunTask& task : tasks) {
     exec::RunTask traced = task;
     traced.trace_backed = true;
     const exec::RunRecord live = exec::ExperimentEngine::execute_task(task);
     const exec::RunRecord via_store =
-        exec::ExperimentEngine::execute_task(traced, &store);
+        exec::ExperimentEngine::execute_task(traced, &store, false);
+    // The stream is in the store by now (recorded above if absent), so this
+    // exercises the analytic plan path for every task.
+    const exec::RunRecord via_analytic =
+        exec::ExperimentEngine::execute_task(traced, &store, true);
     if (via_store.trace_source == "replay") ++replays;
+    if (via_analytic.trace_source == "analytic") ++analytic_replays;
     if (!live.same_result(via_store)) {
       ++mismatches;
       std::cerr << "REPLAY MISMATCH: " << task.label() << " (live vs "
                 << via_store.trace_source << ")\n";
     }
+    if (!live.same_result(via_analytic)) {
+      ++mismatches;
+      std::cerr << "REPLAY MISMATCH: " << task.label() << " (live vs "
+                << via_analytic.trace_source << ")\n";
+    }
   }
   const trace::TraceStore::Stats s = store.stats();
   std::cout << "replay check: " << tasks.size() << " tasks, " << replays
-            << " replayed from " << s.traces << " recorded streams ("
-            << format_bytes(s.bytes) << "), " << mismatches
+            << " replayed + " << analytic_replays << " analytic from "
+            << s.traces << " recorded streams (" << format_bytes(s.bytes)
+            << ", " << s.plans << " plans), " << mismatches
             << " mismatches\n";
   return mismatches;
 }
@@ -83,12 +102,14 @@ int main(int argc, char** argv) {
 
   exec::ExperimentEngine engine = bench::make_engine(opts);
   const bool multilane = !opts.get_flag("no-multilane");
+  const bool analytic = !opts.get_flag("no-analytic");
   std::cout << "sweep_all: " << spec.expand().size()
             << " runs over the Figure 4 grid (class " << npb::klass_name(klass)
             << "), " << engine.workers() << " workers, "
             << (!spec.trace_backed
                     ? "traces off"
                     : (multilane ? "multi-lane groups" : "trace store"))
+            << (spec.trace_backed && analytic ? " + analytic replay" : "")
             << "\n";
 
   const exec::SweepResult cold = engine.run(spec);
@@ -100,8 +121,9 @@ int main(int argc, char** argv) {
             << "s simulated)\n";
   const bench::TraceProvenance prov = bench::trace_provenance(cold);
   if (spec.trace_backed) {
-    std::cout << "streams: " << prov.lane << " lanes in " << cold.fused_groups
-              << " fused groups, " << prov.record << " recorded, "
+    std::cout << "streams: " << prov.lane + prov.analytic << " lanes in "
+              << cold.fused_groups << " fused groups (" << prov.analytic
+              << " analytic), " << prov.record << " recorded, "
               << prov.replay << " replayed, " << prov.live << " live";
     if (prov.fallback > 0) {
       std::cout << ", " << prov.fallback << " trace fallbacks";
@@ -192,6 +214,7 @@ int main(int argc, char** argv) {
     w.field("enabled", spec.trace_backed);
     w.field("recorded", static_cast<std::uint64_t>(prov.record));
     w.field("replayed", static_cast<std::uint64_t>(prov.replay));
+    w.field("analytic", static_cast<std::uint64_t>(prov.analytic));
     w.field("lanes", static_cast<std::uint64_t>(prov.lane));
     w.field("fallbacks", static_cast<std::uint64_t>(prov.fallback));
     w.field("live", static_cast<std::uint64_t>(prov.live));
@@ -224,10 +247,11 @@ int main(int argc, char** argv) {
                   static_cast<double>(cold.records.size());
     exec::JsonWriter b;
     b.begin_object();
-    b.field("schema", "lpomp-bench-sweep-v1");
+    b.field("schema", "lpomp-bench-sweep-v2");
     b.field("klass", std::string(npb::klass_name(klass)));
     b.field("workers", static_cast<std::uint64_t>(cold.workers));
     b.field("multilane", multilane && spec.trace_backed);
+    b.field("analytic", analytic && spec.trace_backed);
     b.field("runs", static_cast<std::uint64_t>(cold.records.size()));
     b.field("cold_wall_ms", cold.wall_ms);
     b.field("warm_wall_ms", warm.wall_ms);
@@ -238,7 +262,43 @@ int main(int argc, char** argv) {
     b.field("fused_lanes", static_cast<std::uint64_t>(cold.fused_lanes));
     b.field("replay_fallbacks",
             static_cast<std::uint64_t>(cold.replay_fallbacks));
-    b.field("lane_occupancy", occupancy);
+    b.field("lane_occupancy_overall", occupancy);
+    // Per-stream-group occupancy: the single aggregate above hides the
+    // structure (singleton groups — thread counts only one platform can
+    // host — can never fan out, so 0.43 overall is actually 0.5 on every
+    // fusable group). A group is one address stream: kernel × class ×
+    // threads × page kind; "offloaded" counts its points served from the
+    // stream as analytic/lane/replay followers.
+    b.key("stream_groups");
+    b.begin_array();
+    {
+      std::vector<std::string> group_order;
+      std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> groups;
+      for (const exec::RunRecord& r : cold.records) {
+        const std::string stream = r.kernel + "." + r.klass + "/" +
+                                   std::to_string(r.threads) + "T/" +
+                                   r.page_kind;
+        auto [it, fresh] = groups.try_emplace(stream, 0, 0);
+        if (fresh) group_order.push_back(stream);
+        ++it->second.first;
+        if (r.trace_source == "analytic" || r.trace_source == "lane" ||
+            r.trace_source == "replay") {
+          ++it->second.second;
+        }
+      }
+      for (const std::string& stream : group_order) {
+        const auto& [points, offloaded] = groups[stream];
+        b.begin_object();
+        b.field("stream", stream);
+        b.field("points", points);
+        b.field("offloaded", offloaded);
+        b.field("occupancy", points == 0 ? 0.0
+                                         : static_cast<double>(offloaded) /
+                                               static_cast<double>(points));
+        b.end_object();
+      }
+    }
+    b.end_array();
     b.end_object();
     b.key("runs_detail");
     b.begin_array();

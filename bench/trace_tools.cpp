@@ -4,26 +4,34 @@
 //   trace_tools record    --kernel=CG --klass=S --threads=4 --pages=2MB
 //                         --out=cg.lptrace [--platform=opteron] [--seed=N]
 //   trace_tools replay    --in=cg.lptrace [--platform=xeon] [--seed=N]
-//                         [--code-pages=4KB] [--check]
+//                         [--code-pages=4KB] [--check] [--no-analytic]
 //   trace_tools multilane --in=cg.lptrace [--seed=N] [--check]
+//   trace_tools bench     --in=cg.lptrace [--repeat=10] [--json-out=FILE]
 //   trace_tools stats     --in=cg.lptrace
 //
 // `record` runs the kernel live with the recorder attached and writes the
-// compressed trace. `replay` re-drives the simulator from the file and
-// prints the profile; with --check it also runs the same config live and
-// verifies every counter matches bit-for-bit. `multilane` replays the file
-// once onto the whole platform × code-page grid — every grid point is a
-// lane of one MultiReplayDriver pass, so the trace is decoded exactly once;
-// with --check each lane is also compared counter-for-counter against its
-// standalone single-lane replay. `stats` decodes the trace and prints
-// stride histograms, hot-page counts and reuse-distance profiles at 4 KB
-// and 2 MB granularity — the quantities that explain which kernels large
-// pages help.
+// compressed trace. `replay` re-drives the simulator from the file — by
+// default from a compiled TracePlan with the analytic fast-forward tier,
+// interpreted with --no-analytic — and prints the profile; with --check it
+// also runs the same config live and verifies every counter matches
+// bit-for-bit. `multilane` replays the file once onto the whole platform ×
+// code-page grid — every grid point is a lane of one MultiReplayDriver
+// pass, so the trace is decoded exactly once; with --check each lane is
+// also compared counter-for-counter against its standalone single-lane
+// replay. `bench` times the interpreted and analytic per-replay paths
+// (minimum of --repeat runs each, plan compiled once) and asserts they
+// agree counter-for-counter — the replay micro-benchmark CI gates on.
+// `stats` decodes the trace and prints stride histograms, hot-page counts
+// and reuse-distance profiles at 4 KB and 2 MB granularity — the
+// quantities that explain which kernels large pages help.
 #include <algorithm>
+#include <chrono>
 
 #include "bench/bench_common.hpp"
+#include "exec/json.hpp"
 #include "trace/io.hpp"
 #include "trace/lane.hpp"
+#include "trace/plan.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 #include "trace/stats.hpp"
@@ -109,10 +117,16 @@ int cmd_replay(const Options& opts) {
   cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
   cfg.code_page_kind = pages_from(opts, "code-pages");
+  cfg.analytic = !opts.get_flag("no-analytic");
 
   std::cout << "replaying " << trace.key() << " (recorded on "
-            << trace.meta.platform << ") on " << cfg.spec.name << "\n";
-  const trace::ReplayOutcome out = trace::ReplayDriver(cfg).run(trace);
+            << trace.meta.platform << ") on " << cfg.spec.name
+            << (cfg.analytic ? " [analytic]" : " [interpreted]") << "\n";
+  const trace::ReplayOutcome out =
+      cfg.analytic
+          ? trace::ReplayDriver(cfg).run(trace,
+                                         *trace::TracePlan::compile(trace))
+          : trace::ReplayDriver(cfg).run(trace);
   print_profile(out.profile, out.simulated_seconds);
 
   if (opts.get_flag("check")) {
@@ -218,6 +232,109 @@ int cmd_multilane(const Options& opts) {
   return 0;
 }
 
+/// Per-replay micro-benchmark: interpreted (stream decode + batched
+/// interpreter) vs analytic (compiled plan + closed-form fast-forward),
+/// minimum of --repeat runs each after one warm-up. The two paths must
+/// agree counter-for-counter — a timing from diverging replays would be
+/// meaningless — so the bench doubles as an identity check. --json-out
+/// writes the machine-readable row CI compares against its committed
+/// reference (the speedup ratio is host-independent, so CI gates on it).
+int cmd_bench(const Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) {
+    std::cerr << "bench: need --in=<file>\n";
+    return 2;
+  }
+  const trace::Trace trace = trace::load_trace_file(in);
+  const int repeat = std::max(1, static_cast<int>(opts.get_int("repeat", 10)));
+  trace::ReplayConfig cfg;
+  cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
+  cfg.code_page_kind = pages_from(opts, "code-pages");
+
+  using clock = std::chrono::steady_clock;
+  auto ms_of = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+
+  const auto tc = clock::now();
+  const std::shared_ptr<const trace::TracePlan> plan =
+      trace::TracePlan::compile(trace);
+  const double compile_ms = ms_of(tc);
+
+  trace::ReplayConfig interp = cfg;
+  interp.analytic = false;
+  trace::ReplayConfig analytic = cfg;
+  analytic.analytic = true;
+
+  trace::ReplayOutcome out_i = trace::ReplayDriver(interp).run(trace);
+  double interp_ms = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = clock::now();
+    out_i = trace::ReplayDriver(interp).run(trace);
+    interp_ms = std::min(interp_ms, ms_of(t0));
+  }
+  // Plan + interpretation isolates the decode saving from the analytic
+  // fast-forward saving in the table below.
+  double plan_interp_ms = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = clock::now();
+    trace::ReplayDriver(interp).run(trace, *plan);
+    plan_interp_ms = std::min(plan_interp_ms, ms_of(t0));
+  }
+  trace::ReplayOutcome out_a = trace::ReplayDriver(analytic).run(trace, *plan);
+  double analytic_ms = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = clock::now();
+    out_a = trace::ReplayDriver(analytic).run(trace, *plan);
+    analytic_ms = std::min(analytic_ms, ms_of(t0));
+  }
+
+  bool same = out_i.simulated_seconds == out_a.simulated_seconds &&
+              out_i.profile.events().size() == out_a.profile.events().size();
+  for (std::size_t i = 0; same && i < out_i.profile.events().size(); ++i) {
+    same = out_i.profile.events()[i].count == out_a.profile.events()[i].count;
+  }
+  const double speedup = analytic_ms > 0.0 ? interp_ms / analytic_ms : 0.0;
+  std::cout << "replay bench " << trace.key() << " on " << cfg.spec.name
+            << " (min of " << repeat << "):\n"
+            << "  interpreted        " << format_ratio(interp_ms)
+            << " ms/replay (stream decode + batched interpreter)\n"
+            << "  plan+interpreted   " << format_ratio(plan_interp_ms)
+            << " ms/replay (decode-free, fast-forward off)\n"
+            << "  analytic           " << format_ratio(analytic_ms)
+            << " ms/replay (plan compile " << format_ratio(compile_ms)
+            << " ms, once per stream)\n"
+            << "  speedup            " << format_ratio(speedup)
+            << "x; counters " << (same ? "identical" : "DIFFER") << "\n";
+
+  const std::string json_path = opts.get("json-out", "");
+  if (!json_path.empty()) {
+    exec::JsonWriter w;
+    w.begin_object();
+    w.field("schema", "lpomp-bench-replay-v1");
+    w.field("trace", trace.key());
+    w.field("platform", cfg.spec.name);
+    w.field("repeat", static_cast<std::uint64_t>(repeat));
+    w.field("interpreted_ms", interp_ms);
+    w.field("plan_interpreted_ms", plan_interp_ms);
+    w.field("analytic_ms", analytic_ms);
+    w.field("plan_compile_ms", compile_ms);
+    w.field("speedup", speedup);
+    w.field("identical", same);
+    w.end_object();
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write --json-out=" << json_path << "\n";
+      return 2;
+    }
+    os << w.str() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return same ? 0 : 1;
+}
+
 void print_histogram(const char* title, const std::vector<std::uint64_t>& h,
                      std::uint64_t total) {
   std::cout << title << "\n";
@@ -310,16 +427,20 @@ int main(int argc, char** argv) {
     if (cmd == "record") return cmd_record(opts);
     if (cmd == "replay") return cmd_replay(opts);
     if (cmd == "multilane") return cmd_multilane(opts);
+    if (cmd == "bench") return cmd_bench(opts);
     if (cmd == "stats") return cmd_stats(opts);
   } catch (const trace::TraceError& e) {
     std::cerr << "trace error: " << e.what() << "\n";
     return 2;
   }
-  std::cerr << "usage: trace_tools <record|replay|multilane|stats> [options]\n"
+  std::cerr << "usage: trace_tools <record|replay|multilane|bench|stats> "
+               "[options]\n"
                "  record    --kernel=CG --klass=S --threads=4 --pages=4KB|2MB "
                "--out=FILE\n"
-               "  replay    --in=FILE [--platform=opteron|xeon] [--check]\n"
+               "  replay    --in=FILE [--platform=opteron|xeon] [--check] "
+               "[--no-analytic]\n"
                "  multilane --in=FILE [--seed=N] [--check]\n"
+               "  bench     --in=FILE [--repeat=10] [--json-out=FILE]\n"
                "  stats     --in=FILE\n";
   return 2;
 }

@@ -68,9 +68,25 @@ RunRecord execute_live(const RunTask& task, const sim::SinkHooks& hooks,
   return record;
 }
 
-trace::ReplayConfig replay_config(const RunTask& task) {
-  return trace::ReplayConfig{task.spec, task.cost, task.seed,
-                             task.code_page_kind};
+trace::ReplayConfig replay_config(const RunTask& task, bool analytic) {
+  trace::ReplayConfig cfg{task.spec, task.cost, task.seed,
+                          task.code_page_kind};
+  cfg.analytic = analytic;
+  return cfg;
+}
+
+/// Compiled plan for the trace under `key`, compiling and caching it on
+/// first use. Shares TraceError semantics with replay: a trace whose plan
+/// does not compile would not replay either.
+std::shared_ptr<const trace::TracePlan> plan_for(trace::TraceStore& store,
+                                                 const std::string& key,
+                                                 const trace::Trace& tr) {
+  std::shared_ptr<const trace::TracePlan> plan = store.plan_lookup(key);
+  if (plan == nullptr) {
+    plan = trace::TracePlan::compile(tr);
+    store.plan_insert(key, plan);
+  }
+  return plan;
 }
 
 std::string task_stream_key(const RunTask& task) {
@@ -159,7 +175,8 @@ ExperimentEngine::ExperimentEngine(Config config)
       trace_store_(config.trace_store_bytes),
       pool_(config.workers) {
   runner_ = [this](const RunTask& task) {
-    return execute_task(task, task.trace_backed ? &trace_store_ : nullptr);
+    return execute_task(task, task.trace_backed ? &trace_store_ : nullptr,
+                        config_.analytic);
   };
 }
 
@@ -380,13 +397,16 @@ void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
       std::vector<trace::ReplayConfig> cfgs;
       cfgs.reserve(lanes_idx.size());
       for (const std::size_t i : lanes_idx) {
-        cfgs.push_back(replay_config(planned[i]));
+        cfgs.push_back(replay_config(planned[i], config_.analytic));
       }
       const auto t0 = std::chrono::steady_clock::now();
       bool replayed = false;
       try {
         const std::vector<trace::ReplayOutcome> outs =
-            trace::MultiReplayDriver(std::move(cfgs)).run(*tr);
+            config_.analytic
+                ? trace::MultiReplayDriver(std::move(cfgs))
+                      .run(*tr, *plan_for(trace_store_, key, *tr))
+                : trace::MultiReplayDriver(std::move(cfgs)).run(*tr);
         const double per_lane = ms_since(t0) /
                                 static_cast<double>(lanes_idx.size());
         for (std::size_t k = 0; k < lanes_idx.size(); ++k) {
@@ -394,7 +414,7 @@ void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
           RunRecord record = base_record(planned[i]);
           fill_outcome(record, outs[k].verified, outs[k].checksum,
                        outs[k].simulated_seconds, outs[k].profile);
-          record.trace_source = "replay";
+          record.trace_source = config_.analytic ? "analytic" : "replay";
           record.cache_hit = false;
           record.wall_ms = per_lane;
           cache_.insert(cache_key(planned[i]), record);
@@ -417,11 +437,109 @@ void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
     }
   }
 
-  // Live leader + lane fan-out: the first uncached point runs the kernel
-  // for real; every other point's simulator state tracks the leader's event
-  // stream as a lane, fed directly through the sink hooks.
   const std::size_t lead = todo.front();
   const RunTask& lead_task = planned[lead];
+
+  if (config_.analytic) {
+    // Analytic fan-out: the leader runs the kernel for real while recording
+    // its stream; the stream is compiled into a TracePlan once and every
+    // follower replays the plan with the analytic fast-forward tier — one
+    // live run, one compile, N closed-form replays.
+    trace::TraceRecorder recorder(lead_task.threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    RunRecord lead_record = base_record(lead_task);
+    bool lead_ok = true;
+    try {
+      lead_record = execute_live(lead_task, sim::bind_sink(&recorder),
+                                 std::move(lead_record));
+      lead_record.trace_source = "record";
+    } catch (const std::exception& e) {
+      lead_record.ok = false;
+      lead_record.error = e.what();
+      lead_ok = false;
+    } catch (...) {
+      lead_record.ok = false;
+      lead_record.error = "unknown exception";
+      lead_ok = false;
+    }
+    lead_record.cache_hit = false;
+    lead_record.wall_ms = ms_since(t0);
+    if (lead_record.ok) cache_.insert(cache_key(lead_task), lead_record);
+    records[lead] = lead_record;
+
+    std::vector<std::size_t> solos;
+    if (lead_ok) {
+      trace::TraceMeta meta;
+      meta.kernel = npb::kernel_name(lead_task.kernel);
+      meta.klass = npb::klass_name(lead_task.klass);
+      meta.threads = lead_task.threads;
+      meta.page_kind = lead_task.page_kind;
+      meta.platform = lead_task.spec.name;
+      meta.code_page_kind = lead_task.code_page_kind;
+      meta.seed = lead_task.seed;
+      meta.verified = lead_record.verified;
+      meta.checksum = lead_record.checksum;
+      const std::shared_ptr<const trace::Trace> tr =
+          trace_store_.insert(key, recorder.finish(std::move(meta)));
+
+      std::vector<std::size_t> lane_idx;
+      std::vector<trace::ReplayConfig> cfgs;
+      for (std::size_t j = 1; j < todo.size(); ++j) {
+        const std::size_t i = todo[j];
+        if (planned[i].threads <= planned[i].spec.total_contexts()) {
+          lane_idx.push_back(i);
+          cfgs.push_back(replay_config(planned[i], true));
+        } else {
+          solos.push_back(i);
+        }
+      }
+      bool replayed = false;
+      if (!lane_idx.empty()) {
+        const auto t1 = std::chrono::steady_clock::now();
+        try {
+          const std::vector<trace::ReplayOutcome> outs =
+              trace::MultiReplayDriver(std::move(cfgs))
+                  .run(*tr, *plan_for(trace_store_, key, *tr));
+          const double per_lane =
+              ms_since(t1) / static_cast<double>(lane_idx.size());
+          for (std::size_t k = 0; k < lane_idx.size(); ++k) {
+            const std::size_t i = lane_idx[k];
+            RunRecord record = base_record(planned[i]);
+            fill_outcome(record, outs[k].verified, outs[k].checksum,
+                         outs[k].simulated_seconds, outs[k].profile);
+            record.trace_source = "analytic";
+            record.cache_hit = false;
+            record.wall_ms = per_lane;
+            cache_.insert(cache_key(planned[i]), record);
+            records[i] = record;
+          }
+          fused.groups.fetch_add(1);
+          fused.lanes.fetch_add(lane_idx.size());
+          replayed = true;
+        } catch (const trace::TraceError&) {
+          // A freshly recorded stream its own plan rejects — should not
+          // happen, but the fallback ladder is the same as everywhere:
+          // followers re-run solo, nothing aborts.
+          trace_store_.erase(key);
+          fused.fallbacks.fetch_add(1);
+        }
+        if (!replayed) {
+          solos.insert(solos.end(), lane_idx.begin(), lane_idx.end());
+        }
+      }
+    } else {
+      // Leader failed before completing the stream; every follower gets its
+      // own untainted run.
+      solos.assign(todo.begin() + 1, todo.end());
+    }
+    for (const std::size_t i : solos) run_solo(i);
+    return;
+  }
+
+  // Live leader + lane fan-out (--no-analytic): the first uncached point
+  // runs the kernel for real; every other point's simulator state tracks
+  // the leader's event stream as a lane, fed directly through the sink
+  // hooks.
   std::vector<std::size_t> solos;
   std::vector<std::size_t> lane_idx;
 
@@ -431,7 +549,7 @@ void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
   for (std::size_t j = 1; j < todo.size(); ++j) {
     const std::size_t i = todo[j];
     try {
-      lanes.add_lane(replay_config(planned[i]));
+      lanes.add_lane(replay_config(planned[i], false));
       lane_idx.push_back(i);
     } catch (const trace::TraceError&) {
       solos.push_back(i);  // does not fit this platform — runs (and fails
@@ -533,18 +651,21 @@ RunRecord ExperimentEngine::execute_task(const RunTask& task) {
 }
 
 RunRecord ExperimentEngine::execute_task(const RunTask& task,
-                                         trace::TraceStore* store) {
+                                         trace::TraceStore* store,
+                                         bool analytic) {
   if (store == nullptr || !task.trace_backed) return execute_task(task);
 
   const std::string key = task_stream_key(task);
   if (std::shared_ptr<const trace::Trace> tr = store->lookup(key)) {
     try {
-      trace::ReplayDriver driver(replay_config(task));
-      const trace::ReplayOutcome out = driver.run(*tr);
+      trace::ReplayDriver driver(replay_config(task, analytic));
+      const trace::ReplayOutcome out =
+          analytic ? driver.run(*tr, *plan_for(*store, key, *tr))
+                   : driver.run(*tr);
       RunRecord record = base_record(task);
       fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
                    out.profile);
-      record.trace_source = "replay";
+      record.trace_source = analytic ? "analytic" : "replay";
       return record;
     } catch (const trace::TraceError&) {
       // Corrupt or inconsistent stored trace: drop it and serve the task

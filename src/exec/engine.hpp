@@ -78,6 +78,14 @@ class ExperimentEngine {
     /// either way; this is purely an execution strategy (the --no-multilane
     /// escape hatch in the benches flips it).
     bool multilane = true;
+    /// Serve trace-backed replays from a compiled TracePlan with the
+    /// analytic fast-forward tier (closed-form counter updates for pattern
+    /// blocks whose footprint is provably warm — sim/block_summary.hpp).
+    /// With multilane on, a fused group's leader additionally records its
+    /// stream and every follower replays the compiled plan instead of
+    /// tracking live events lane-by-lane. Results are bit-identical either
+    /// way — again pure execution strategy; --no-analytic flips it.
+    bool analytic = true;
   };
 
   /// Maps a task to its record; the default runs npb::run_kernel. Tests
@@ -103,12 +111,17 @@ class ExperimentEngine {
 
   /// Trace-backed execution: when `store` is non-null and the task opts in,
   /// the task's address stream is replayed from the store if a recording
-  /// exists (trace_source="replay"), otherwise the live run records it for
-  /// later tasks (trace_source="record"). Results are bit-identical to
-  /// execute_task(task) either way. A stored trace the replay rejects
-  /// (corrupt bytes, inconsistent stream) is erased and the task re-runs
-  /// live (trace_source="fallback") — recoverable, never an abort.
-  static RunRecord execute_task(const RunTask& task, trace::TraceStore* store);
+  /// exists — through the store's compiled TracePlan with the analytic
+  /// fast-forward tier when `analytic` (trace_source="analytic", compiling
+  /// and caching the plan on first use), interpreted otherwise
+  /// (trace_source="replay"). With no recording the live run records the
+  /// stream for later tasks (trace_source="record"). Results are
+  /// bit-identical to execute_task(task) in every mode. A stored trace the
+  /// plan compile or replay rejects (corrupt bytes, inconsistent stream) is
+  /// erased and the task re-runs live (trace_source="fallback") —
+  /// recoverable, never an abort.
+  static RunRecord execute_task(const RunTask& task, trace::TraceStore* store,
+                                bool analytic = true);
 
   /// Config-echo fields + content-key digest, no run outcome (the skeleton
   /// both execute_task and the failure path start from).

@@ -50,11 +50,12 @@ struct RunRecord {
   bool cache_hit = false;
   double wall_ms = 0.0;
   /// How this result was produced: "live" (full kernel run), "record"
-  /// (live run that also captured a trace), "replay" (trace replay),
-  /// "lane" (lane of a fused multi-lane group tracking a live leader) or
-  /// "fallback" (stored trace rejected, re-run live). Scheduling decides
-  /// which task takes which path, so this is provenance, not part of the
-  /// deterministic result.
+  /// (live run that also captured a trace), "replay" (interpreted trace
+  /// replay), "analytic" (compiled-plan replay with the analytic
+  /// fast-forward tier), "lane" (lane of a fused multi-lane group tracking
+  /// a live leader) or "fallback" (stored trace rejected, re-run live).
+  /// Scheduling decides which task takes which path, so this is provenance,
+  /// not part of the deterministic result.
   std::string trace_source = "live";
 
   /// True when every deterministic field above matches — the equality the

@@ -1,0 +1,351 @@
+// Compile-time abstract walk (summarize_block) and run-time warm-commit
+// (ThreadSim::replay_analytic) of the analytic fast-forward tier. The walk
+// mirrors the batched interpreter's address arithmetic exactly — same
+// element advance, same per-period advance, same wrap semantics — so the
+// event structure it derives is the event structure replay_pattern would
+// produce; the differential oracle holds the two bit-identical.
+
+#include "sim/block_summary.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/thread_sim.hpp"
+
+namespace lpomp::sim {
+
+namespace {
+
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+/// (vpn, kind) → one comparable key. vpn fits 58 bits with room to spare.
+std::uint64_t page_key(vpn_t vpn, PageKind kind) {
+  return (static_cast<std::uint64_t>(vpn) << 1) |
+         static_cast<std::uint64_t>(kind);
+}
+
+/// Distinct values of `ev`, ordered by *last* occurrence.
+void dedup_keep_last(const std::uint64_t* ev, std::size_t n,
+                     std::vector<std::uint64_t>& out,
+                     std::unordered_set<std::uint64_t>& scratch) {
+  scratch.clear();
+  out.clear();
+  for (std::size_t i = n; i-- > 0;) {
+    if (scratch.insert(ev[i]).second) out.push_back(ev[i]);
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+/// Distinct values of `ev`, ordered by *first* occurrence.
+void dedup_keep_first(const std::uint64_t* ev, std::size_t n,
+                      std::vector<std::uint64_t>& out,
+                      std::unordered_set<std::uint64_t>& scratch) {
+  scratch.clear();
+  out.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scratch.insert(ev[i]).second) out.push_back(ev[i]);
+  }
+}
+
+}  // namespace
+
+std::size_t BlockSummary::bytes() const {
+  return sizeof(BlockSummary) +
+         (lines_final.capacity() + lines_first.capacity() +
+          pp_lines.capacity() + pp_new_lines.capacity()) *
+             sizeof(std::uint64_t) +
+         (pages_final.capacity() + pp_pages.capacity() +
+          pp_new_pages.capacity()) *
+             sizeof(tlb::Tlb::WarmPage) +
+         period.capacity() * sizeof(PeriodSpan);
+}
+
+BlockSummary summarize_block(const ReplaySlot* slots, std::size_t count,
+                             std::uint64_t periods) {
+  BlockSummary s;
+  s.periods = periods;
+
+  // --- abstract walk: whole-block switch-event sequences -------------------
+  // One entry per line-switch (the accesses the interpreter would route
+  // through the cache's associative path) and per page-switch. TLB lookups
+  // stamp on *every* access, but runs per page are contiguous, so ordering
+  // distinct pages by last switch event equals ordering them by last
+  // lookup — the order credit_warm_span needs.
+  std::vector<std::uint64_t> line_ev;
+  std::vector<std::uint64_t> page_ev_key;
+  std::vector<tlb::Tlb::WarmPage> page_ev;
+  std::vector<std::uint32_t> line_at(periods + 1, 0);
+  std::vector<std::uint32_t> page_at(periods + 1, 0);
+  // First-access line per period, for the period-0 MRU-entry corner and the
+  // (carried-entry) periods whose first access produces no event.
+  std::vector<std::uint64_t> first_line_of(periods, kNoKey);
+
+  std::uint64_t prev_line = kNoKey;
+  std::uint64_t prev_page = kNoKey;
+  for (std::uint64_t p = 0; p < periods; ++p) {
+    line_at[p] = static_cast<std::uint32_t>(line_ev.size());
+    page_at[p] = static_cast<std::uint32_t>(page_ev.size());
+    bool saw_access = false;
+    for (std::size_t j = 0; j < count; ++j) {
+      const ReplaySlot& sl = slots[j];
+      if (sl.is_compute) {
+        if (p == 0) s.pp_compute += sl.cycles;
+        continue;
+      }
+      if (p == 0) {
+        s.pp_accesses += sl.n;
+        if (sl.access == Access::store) s.pp_stores += sl.n;
+        if (sl.page == PageKind::small4k) {
+          s.pp_lookups4k += sl.n;
+        } else {
+          s.pp_lookups2m += sl.n;
+        }
+      }
+      // The interpreter advances a period's base by repeated period_inc
+      // addition and an element by repeated stride addition; both equal the
+      // closed-form multiply in wrap-around arithmetic.
+      vaddr_t a = sl.addr + static_cast<vaddr_t>(
+                                p * static_cast<std::uint64_t>(
+                                        static_cast<std::int64_t>(
+                                            sl.period_inc)));
+      const unsigned shift = page_shift(sl.page);
+      const auto kind = sl.page;
+      for (std::uint64_t i = 0; i < sl.n; ++i) {
+        const std::uint64_t line = a >> 6;
+        if (!saw_access) {
+          first_line_of[p] = line;
+          saw_access = true;
+        }
+        if (line != prev_line) {
+          line_ev.push_back(line);
+          prev_line = line;
+        }
+        const std::uint64_t pk = page_key(a >> shift, kind);
+        if (pk != prev_page) {
+          page_ev.push_back({static_cast<vpn_t>(a >> shift), kind});
+          page_ev_key.push_back(pk);
+          prev_page = pk;
+        }
+        a += static_cast<vaddr_t>(sl.stride);
+      }
+    }
+  }
+  line_at[periods] = static_cast<std::uint32_t>(line_ev.size());
+  page_at[periods] = static_cast<std::uint32_t>(page_ev.size());
+
+  // --- whole-block constants and footprints --------------------------------
+  s.accesses = s.pp_accesses * periods;
+  s.stores = s.pp_stores * periods;
+  s.compute_cycles = s.pp_compute * periods;
+  s.lookups4k = s.pp_lookups4k * periods;
+  s.lookups2m = s.pp_lookups2m * periods;
+  s.assoc_touches = line_ev.size();
+  if (!line_ev.empty()) {
+    s.first_line = line_ev[0];
+    for (std::size_t i = 1; i < line_ev.size(); ++i) {
+      if (line_ev[i] == s.first_line) {
+        s.first_line_reappears = true;
+        break;
+      }
+    }
+  }
+
+  std::unordered_set<std::uint64_t> scratch;
+  dedup_keep_last(line_ev.data(), line_ev.size(), s.lines_final, scratch);
+  s.block_eligible = s.lines_final.size() <= kMaxAnalyticLines;
+  if (s.block_eligible) {
+    dedup_keep_first(line_ev.data(), line_ev.size(), s.lines_first, scratch);
+    std::vector<std::uint64_t> pk_final;
+    dedup_keep_last(page_ev_key.data(), page_ev_key.size(), pk_final, scratch);
+    s.pages_final.reserve(pk_final.size());
+    for (std::uint64_t k : pk_final) {
+      s.pages_final.push_back({static_cast<vpn_t>(k >> 1),
+                               static_cast<PageKind>(k & 1)});
+    }
+  } else {
+    // Too big to ever be L1-resident: don't carry the global lists.
+    std::vector<std::uint64_t>().swap(s.lines_final);
+  }
+
+  // --- per-period tier ------------------------------------------------------
+  if (periods > 1) {
+    s.period.resize(periods);
+    std::unordered_set<std::uint64_t> seen_lines;
+    std::unordered_set<std::uint64_t> seen_pages;
+    std::vector<std::uint64_t> tmp;
+    for (std::uint64_t p = 0; p < periods; ++p) {
+      PeriodSpan& span = s.period[p];
+      const std::size_t lb = line_at[p], le = line_at[p + 1];
+      const std::size_t pb = page_at[p], pe = page_at[p + 1];
+      span.assoc_touches = static_cast<std::uint32_t>(le - lb);
+      span.first_line = first_line_of[p];
+      if (p == 0 && le > lb) {
+        for (std::size_t i = lb + 1; i < le; ++i) {
+          if (line_ev[i] == line_ev[lb]) {
+            span.first_line_reappears = true;
+            break;
+          }
+        }
+      }
+
+      span.lines_begin = static_cast<std::uint32_t>(s.pp_lines.size());
+      dedup_keep_last(line_ev.data() + lb, le - lb, tmp, scratch);
+      span.new_begin = static_cast<std::uint32_t>(s.pp_new_lines.size());
+      for (std::uint64_t line : tmp) {
+        s.pp_lines.push_back(line);
+        if (seen_lines.insert(line).second) s.pp_new_lines.push_back(line);
+      }
+      span.lines_end = static_cast<std::uint32_t>(s.pp_lines.size());
+      span.new_end = static_cast<std::uint32_t>(s.pp_new_lines.size());
+
+      span.pages_begin = static_cast<std::uint32_t>(s.pp_pages.size());
+      dedup_keep_last(page_ev_key.data() + pb, pe - pb, tmp, scratch);
+      span.pnew_begin = static_cast<std::uint32_t>(s.pp_new_pages.size());
+      for (std::uint64_t k : tmp) {
+        const tlb::Tlb::WarmPage pg{static_cast<vpn_t>(k >> 1),
+                                    static_cast<PageKind>(k & 1)};
+        s.pp_pages.push_back(pg);
+        if (seen_pages.insert(k).second) s.pp_new_pages.push_back(pg);
+      }
+      span.pages_end = static_cast<std::uint32_t>(s.pp_pages.size());
+      span.pnew_end = static_cast<std::uint32_t>(s.pp_new_pages.size());
+    }
+  }
+  return s;
+}
+
+bool ThreadSim::analytic_warm(const std::uint64_t* lines, std::size_t nlines,
+                              const tlb::Tlb::WarmPage* pages,
+                              std::size_t npages) const {
+  for (std::size_t i = nlines; i-- > 0;) {
+    if (!l1d_.line_present(lines[i])) return false;
+  }
+  for (std::size_t i = 0; i < npages; ++i) {
+    if (!tlbs_.data_l1_present(pages[i].vpn, pages[i].kind)) return false;
+  }
+  return true;
+}
+
+void ThreadSim::analytic_commit(const std::uint64_t* lines, std::size_t nlines,
+                                const tlb::Tlb::WarmPage* pages,
+                                std::size_t npages, count_t accesses,
+                                count_t stores, cycles_t compute,
+                                count_t lookups4k, count_t lookups2m,
+                                count_t assoc_touches, std::uint64_t first_line,
+                                bool first_line_reappears, bool entry_corner) {
+  counters_.accesses += accesses;
+  counters_.stores += stores;
+  counters_.exec_cycles += accesses * cm_->exec_per_access + compute;
+  counters_.stall_cycles += accesses * cm_->l1_hit_stall;
+  if (jump_period_ != 0) until_jump_ -= accesses;
+
+  tlbs_.credit_data_warm_span(pages, npages, lookups4k, lookups2m);
+
+  // MRU-entry corner: when the machine enters the span already holding its
+  // first line in the cache's MRU filter, the entry access is a filter hit —
+  // one fewer associative touch, and if that line is never switched back to
+  // it keeps its old stamp (it is lines[0] of the final order: its only
+  // touch is the earliest event).
+  if (entry_corner && nlines > 0 && l1d_.mru_hit(first_line << 6)) {
+    --assoc_touches;
+    if (!first_line_reappears) {
+      ++lines;
+      --nlines;
+    }
+  }
+  l1d_.credit_warm_span(lines, nlines, accesses, stores, assoc_touches);
+}
+
+void ThreadSim::replay_analytic(const ReplaySlot* slots, std::size_t count,
+                                std::uint64_t periods,
+                                const BlockSummary& s) {
+  // Per-lane eligibility: the analytic tier is an accelerated *fast path*,
+  // so reference mode interprets; a sink needs live framing; and the
+  // summary's line arithmetic is hardwired to 64-byte lines (as is the
+  // interpreter's prefetcher probe — but the gate keeps the invariant
+  // local).
+  if (!fast_path_ || sink_.ctx != nullptr ||
+      l1d_.geometry().line_bytes != 64) {
+    replay_pattern(slots, count, periods);
+    return;
+  }
+
+  // Tier 1: the whole block, all periods at once.
+  if (s.block_eligible && (jump_period_ == 0 || until_jump_ > s.accesses) &&
+      analytic_warm(s.lines_first.data(), s.lines_first.size(),
+                    s.pages_final.data(), s.pages_final.size())) {
+    analytic_commit(s.lines_final.data(), s.lines_final.size(),
+                    s.pages_final.data(), s.pages_final.size(), s.accesses,
+                    s.stores, s.compute_cycles, s.lookups4k, s.lookups2m,
+                    s.assoc_touches, s.first_line, s.first_line_reappears,
+                    /*entry_corner=*/true);
+    return;
+  }
+
+  if (periods == 1 || s.period.size() != periods) {
+    replay_pattern(slots, count, periods);
+    return;
+  }
+
+  // Tier 2: period by period. While every period since block entry has been
+  // fast-forwarded, nothing has been installed or evicted, so only the
+  // lines/pages unseen in earlier periods need peeking; one interpreted
+  // period forfeits that (it may evict anything) and later periods pay the
+  // full peek.
+  bool chain = true;
+  bool scratch_valid = false;
+  std::uint64_t scratch_period = 0;
+  for (std::uint64_t p = 0; p < periods; ++p) {
+    const PeriodSpan& span = s.period[p];
+    const std::uint64_t* lines;
+    const tlb::Tlb::WarmPage* pages;
+    std::size_t nlines, npages;
+    if (chain) {
+      lines = s.pp_new_lines.data() + span.new_begin;
+      nlines = span.new_end - span.new_begin;
+      pages = s.pp_new_pages.data() + span.pnew_begin;
+      npages = span.pnew_end - span.pnew_begin;
+    } else {
+      lines = s.pp_lines.data() + span.lines_begin;
+      nlines = span.lines_end - span.lines_begin;
+      pages = s.pp_pages.data() + span.pages_begin;
+      npages = span.pages_end - span.pages_begin;
+    }
+    if ((jump_period_ == 0 || until_jump_ > s.pp_accesses) &&
+        analytic_warm(lines, nlines, pages, npages)) {
+      analytic_commit(s.pp_lines.data() + span.lines_begin,
+                      span.lines_end - span.lines_begin,
+                      s.pp_pages.data() + span.pages_begin,
+                      span.pages_end - span.pages_begin, s.pp_accesses,
+                      s.pp_stores, s.pp_compute, s.pp_lookups4k,
+                      s.pp_lookups2m, span.assoc_touches, span.first_line,
+                      span.first_line_reappears, /*entry_corner=*/p == 0);
+      continue;
+    }
+
+    // Interpret just this period: materialise the period's slot addresses
+    // (the same repeated-addition advance the interpreter performs) and
+    // issue them as a one-period block.
+    if (!scratch_valid) {
+      replay_scratch_.assign(slots, slots + count);
+      scratch_valid = true;
+      scratch_period = 0;
+    }
+    if (scratch_period != p) {
+      const std::uint64_t dp = p - scratch_period;
+      for (std::size_t j = 0; j < count; ++j) {
+        ReplaySlot& w = replay_scratch_[j];
+        if (!w.is_compute) {
+          w.addr += static_cast<vaddr_t>(
+              dp * static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(w.period_inc)));
+        }
+      }
+      scratch_period = p;
+    }
+    replay_pattern(replay_scratch_.data(), count, 1);
+    chain = false;
+  }
+}
+
+}  // namespace lpomp::sim

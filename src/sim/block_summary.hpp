@@ -1,0 +1,113 @@
+// Closed-form ("analytic") accounting metadata for one replay pattern
+// block — the fast-forward tier of DESIGN.md §9.
+//
+// A pattern block is an affine object: every address it will ever issue is
+// slot.addr + p*period_inc + i*stride, so the block's line-switch and
+// page-switch structure is a pure function of the block itself — it can be
+// computed once, off the replay hot path, and reused by every lane of
+// every replay of the stream. What *cannot* be precomputed is whether the
+// machine is warm for the block (its lines resident in L1, its pages in
+// the L1 DTLB). The split here:
+//
+//   * summarize_block() — the compile-time half. An abstract walk of the
+//     block's access sequence (no simulator state) producing BlockSummary:
+//     per-block and per-period access/store/lookup constants, the distinct
+//     lines and pages in the stamp orders the committing half needs, and
+//     the switch-event counts that drive the LRU clock.
+//   * ThreadSim::replay_analytic() — the run-time half. Proves the block
+//     (or single periods of it) warm with side-effect-free peeks, then
+//     commits the precomputed deltas in closed form; anything it cannot
+//     prove falls back to the batched interpreter, period by period.
+//
+// Soundness rests on two facts the differential oracle enforces:
+//   1. A warm span performs no installs and no evictions, so presence at
+//      the start of the span implies presence throughout — the peek is a
+//      proof for the whole span, not just its first access.
+//   2. True LRU observes only the *relative* order of the unique,
+//      monotonically increasing timestamps, so advancing the clock by the
+//      span's stamp count and restamping each line/page at its final-touch
+//      position is observation-equivalent to interpreting the span.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/replay_slot.hpp"
+#include "support/types.hpp"
+#include "tlb/tlb.hpp"
+
+namespace lpomp::sim {
+
+/// Index ranges of one period's share of the concatenated per-period
+/// arrays in BlockSummary, plus the per-period LRU-event counts.
+struct PeriodSpan {
+  std::uint32_t lines_begin = 0, lines_end = 0;  ///< pp_lines (final order)
+  std::uint32_t new_begin = 0, new_end = 0;      ///< pp_new_lines
+  std::uint32_t pages_begin = 0, pages_end = 0;  ///< pp_pages (final order)
+  std::uint32_t pnew_begin = 0, pnew_end = 0;    ///< pp_new_pages
+  /// Cache line-switch events inside the period (the accesses that would
+  /// take the associative path; a period entered on the line its
+  /// predecessor ended on simply has no entry event).
+  std::uint32_t assoc_touches = 0;
+  /// Line of the period's first access and whether it has a later switch
+  /// event inside the period — the period-0 MRU-entry corner (see
+  /// ThreadSim::replay_analytic; for p ≥ 1 the walk's continuity across
+  /// the period boundary already encodes the carry-over MRU).
+  std::uint64_t first_line = 0;
+  bool first_line_reappears = false;
+};
+
+/// Precomputed closed-form accounting for one pattern block. All counts
+/// cover the *whole* block (every period); the pp_* members describe one
+/// period (identical constants across periods — only the footprint lists
+/// differ, which is why those are stored per period).
+struct BlockSummary {
+  std::uint64_t periods = 1;
+
+  // --- whole-block constants ---------------------------------------------
+  count_t accesses = 0;
+  count_t stores = 0;
+  cycles_t compute_cycles = 0;
+  count_t lookups4k = 0;  ///< L1 DTLB lookups, by page kind
+  count_t lookups2m = 0;
+  count_t assoc_touches = 0;  ///< cache line-switch events, entry included
+  std::uint64_t first_line = 0;
+  bool first_line_reappears = false;
+
+  /// Whole-block footprint small enough to ever be L1-resident; when false
+  /// the global lists are not stored and only the per-period tier applies.
+  bool block_eligible = false;
+
+  // --- whole-block footprints --------------------------------------------
+  std::vector<std::uint64_t> lines_final;  ///< distinct, final-touch order
+  std::vector<std::uint64_t> lines_first;  ///< distinct, first-touch order
+  std::vector<tlb::Tlb::WarmPage> pages_final;  ///< distinct, final order
+
+  // --- per-period tier (populated only when periods > 1) ------------------
+  count_t pp_accesses = 0;
+  count_t pp_stores = 0;
+  cycles_t pp_compute = 0;
+  count_t pp_lookups4k = 0;
+  count_t pp_lookups2m = 0;
+  std::vector<std::uint64_t> pp_lines;      ///< concatenated, final order
+  std::vector<std::uint64_t> pp_new_lines;  ///< lines unseen in any earlier period
+  std::vector<tlb::Tlb::WarmPage> pp_pages;
+  std::vector<tlb::Tlb::WarmPage> pp_new_pages;
+  std::vector<PeriodSpan> period;
+
+  /// Approximate heap footprint (plan/store accounting).
+  std::size_t bytes() const;
+};
+
+/// Distinct-line cap above which a block can never be fully L1-resident on
+/// any modelled platform (largest L1 is 64 KB = 1024 lines; the margin
+/// keeps the rule platform-independent). Classifier rule #1 of DESIGN.md §9.
+inline constexpr std::size_t kMaxAnalyticLines = 4096;
+
+/// The compile-time half: abstract-walks the block exactly as the batched
+/// interpreter would issue it (same address arithmetic, same wrap
+/// semantics) and derives the closed-form metadata above.
+BlockSummary summarize_block(const ReplaySlot* slots, std::size_t count,
+                             std::uint64_t periods);
+
+}  // namespace lpomp::sim

@@ -63,6 +63,7 @@ std::size_t LaneSet::add_lane(const ReplayConfig& cfg) {
 
   const std::size_t lane = machines_.size();
   machines_.push_back(std::move(machine));
+  analytic_.push_back(cfg.analytic ? 1 : 0);
   by_tid_.resize(nthreads_);
   for (unsigned t = 0; t < nthreads_; ++t) {
     by_tid_[t].push_back(&machines_[lane]->thread(t));
@@ -167,6 +168,60 @@ std::vector<ReplayOutcome> MultiReplayDriver::run(const Trace& trace) const {
     // configuration's mappings, impossible thread ids, ...) trips simulator
     // invariant checks. Surface it as the recoverable trace error it is, so
     // callers can fall back to live execution instead of aborting.
+    throw TraceError(std::string("trace: replay rejected by simulator: ") +
+                     e.what());
+  }
+}
+
+std::vector<ReplayOutcome> MultiReplayDriver::run(const Trace& trace,
+                                                  const TracePlan& plan) const {
+  const npb::Kernel kernel = kernel_from_name(trace.meta.kernel);
+  const npb::Klass klass = klass_from_name(trace.meta.klass);
+
+  if (lanes_.empty()) {
+    throw TraceError("trace: multi-replay needs at least one lane");
+  }
+  if (trace.meta.threads == 0 ||
+      trace.streams.size() != trace.meta.threads) {
+    throw TraceError("trace: stream count does not match thread count");
+  }
+  if (plan.threads().size() != trace.meta.threads ||
+      plan.boundary_count() != trace.boundaries.size()) {
+    throw TraceError("trace: plan does not match trace shape");
+  }
+
+  try {
+    ReplaySubstrate substrate(kernel, klass, trace.meta.page_kind);
+    LaneSet lanes(substrate, trace.meta.threads);
+    for (const ReplayConfig& cfg : lanes_) lanes.add_lane(cfg);
+
+    // Same application order as the decoding run(): each boundary drains
+    // one precompiled segment per thread, then applies the boundary — but
+    // the blocks come straight from the plan, so no stream is decoded and
+    // each block's analytic summary rides along for the lanes that use it.
+    for (std::size_t b = 0; b < trace.boundaries.size(); ++b) {
+      for (unsigned tid = 0; tid < trace.meta.threads; ++tid) {
+        const ThreadPlan& tp = plan.threads()[tid];
+        const std::uint32_t begin = b == 0 ? 0 : tp.segment_end[b - 1];
+        const std::uint32_t end = tp.segment_end[b];
+        for (std::uint32_t i = begin; i < end; ++i) {
+          lanes.apply_plan_block(tid, tp.blocks[i]);
+        }
+      }
+      lanes.apply_boundary(trace.boundaries[b]);
+    }
+
+    const std::string label = trace.meta.kernel + "." + trace.meta.klass;
+    std::vector<ReplayOutcome> outcomes;
+    outcomes.reserve(lanes.lanes());
+    for (std::size_t lane = 0; lane < lanes.lanes(); ++lane) {
+      outcomes.push_back(lanes.outcome(lane, label, trace.meta.verified,
+                                       trace.meta.checksum));
+    }
+    return outcomes;
+  } catch (const TraceError&) {
+    throw;
+  } catch (const std::logic_error& e) {
     throw TraceError(std::string("trace: replay rejected by simulator: ") +
                      e.what());
   }

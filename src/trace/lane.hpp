@@ -50,6 +50,7 @@
 
 #include "core/runtime.hpp"
 #include "npb/npb.hpp"
+#include "trace/plan.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
 
@@ -113,6 +114,22 @@ class LaneSet {
       ts->replay_pattern(slots, count, periods);
     }
   }
+  /// Plan-path fan-out of one precompiled block: lanes whose ReplayConfig
+  /// opted into the analytic tier take the fast-forward entry point (which
+  /// itself falls back per block/period), the rest interpret. Per-lane
+  /// eligibility lives here because lanes differ in geometry and mode.
+  void apply_plan_block(unsigned tid, const PlanBlock& pb) {
+    const std::vector<sim::ThreadSim*>& sims = by_tid_[tid];
+    for (std::size_t lane = 0; lane < sims.size(); ++lane) {
+      if (analytic_[lane]) {
+        sims[lane]->replay_analytic(pb.slots.data(), pb.slots.size(),
+                                    pb.periods, pb.summary);
+      } else {
+        sims[lane]->replay_pattern(pb.slots.data(), pb.slots.size(),
+                                   pb.periods);
+      }
+    }
+  }
   void apply_touch(unsigned tid, vaddr_t addr, PageKind kind, Access access) {
     for (sim::ThreadSim* ts : by_tid_[tid]) ts->touch(addr, kind, access);
   }
@@ -140,6 +157,7 @@ class LaneSet {
   const ReplaySubstrate* substrate_;
   unsigned nthreads_;
   std::vector<std::unique_ptr<sim::Machine>> machines_;
+  std::vector<std::uint8_t> analytic_;  ///< per lane: ReplayConfig::analytic
   /// SoA hot-state index: by_tid_[tid][lane] = that lane's ThreadSim for
   /// simulated thread tid.
   std::vector<std::vector<sim::ThreadSim*>> by_tid_;
@@ -192,6 +210,14 @@ class MultiReplayDriver {
   /// but well-framed trace) — never a bare logic_error, so callers can fall
   /// back to live execution.
   std::vector<ReplayOutcome> run(const Trace& trace) const;
+
+  /// The same replay served from a precompiled plan of `trace`: no stream
+  /// decode, and lanes with ReplayConfig::analytic fast-forward every block
+  /// they can prove warm. Outcomes are bit-identical to run(trace). The
+  /// plan must have been compiled from this trace (thread/boundary shape is
+  /// checked; TraceError otherwise).
+  std::vector<ReplayOutcome> run(const Trace& trace,
+                                 const TracePlan& plan) const;
 
   const std::vector<ReplayConfig>& lane_configs() const { return lanes_; }
 

@@ -1,0 +1,53 @@
+#include "trace/plan.hpp"
+
+#include "trace/codec.hpp"
+
+namespace lpomp::trace {
+
+std::shared_ptr<const TracePlan> TracePlan::compile(const Trace& trace) {
+  if (trace.meta.threads == 0 || trace.streams.size() != trace.meta.threads) {
+    throw TraceError("trace: stream count does not match thread count");
+  }
+
+  std::shared_ptr<TracePlan> plan(new TracePlan());
+  plan->boundary_count_ = trace.boundaries.size();
+  plan->threads_.resize(trace.streams.size());
+  std::size_t bytes = sizeof(TracePlan);
+
+  for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+    ThreadDecoder dec(trace.streams[t]);
+    ThreadPlan& tp = plan->threads_[t];
+    ThreadDecoder::Block block;
+    std::size_t segments = 0;
+    while (dec.next_block(block)) {
+      if (block.kind == ThreadDecoder::Block::Kind::segment) {
+        ++segments;
+        if (segments > trace.boundaries.size()) {
+          throw TraceError("trace: events recorded after the last boundary");
+        }
+        tp.segment_end.push_back(static_cast<std::uint32_t>(tp.blocks.size()));
+        continue;
+      }
+      if (segments == trace.boundaries.size()) {
+        throw TraceError("trace: events recorded after the last boundary");
+      }
+      PlanBlock pb;
+      pb.slots.assign(block.pattern.begin(), block.pattern.end());
+      pb.periods = block.periods;
+      pb.summary =
+          sim::summarize_block(pb.slots.data(), pb.slots.size(), pb.periods);
+      bytes += sizeof(PlanBlock) +
+               pb.slots.capacity() * sizeof(sim::ReplaySlot) +
+               pb.summary.bytes();
+      tp.blocks.push_back(std::move(pb));
+    }
+    if (segments != trace.boundaries.size()) {
+      throw TraceError("trace: stream ended before its last boundary");
+    }
+    bytes += tp.segment_end.capacity() * sizeof(std::uint32_t);
+  }
+  plan->bytes_ = bytes;
+  return plan;
+}
+
+}  // namespace lpomp::trace

@@ -1,0 +1,68 @@
+// TracePlan — a stored trace compiled once into directly replayable form.
+//
+// Replaying a trace costs three things: building the substrate, decoding
+// the per-thread streams, and applying the decoded blocks to the lanes.
+// The decode is a pure function of the trace bytes — it produces the same
+// block sequence on every replay of every lane — yet the MultiReplayDriver
+// used to pay it per replay (and it alone exceeded the analytic tier's
+// per-replay budget). A TracePlan hoists that work: each thread's stream is
+// decoded into its pattern blocks exactly once, each block is classified
+// and summarized for the analytic fast-forward tier (sim/block_summary.hpp)
+// exactly once, and every subsequent replay of the stream — any lane, any
+// platform — walks the precompiled blocks. Per-lane *eligibility* stays at
+// apply time (lanes differ in geometry and mode); per-block *structure*
+// lives here.
+//
+// Compilation performs the same framing validation replay performs, and
+// throws the same TraceError on malformed input — a corrupt stored trace
+// fails at compile time and takes the established fallback-to-live path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/block_summary.hpp"
+#include "sim/replay_slot.hpp"
+#include "trace/trace.hpp"
+
+namespace lpomp::trace {
+
+/// One decoded pattern block with its analytic summary.
+struct PlanBlock {
+  std::vector<sim::ReplaySlot> slots;
+  std::uint64_t periods = 1;
+  sim::BlockSummary summary;
+};
+
+/// One thread's stream: blocks in decode order, partitioned into the
+/// trace's boundary segments. Segment `b` spans block indices
+/// [b == 0 ? 0 : segment_end[b-1], segment_end[b]).
+struct ThreadPlan {
+  std::vector<PlanBlock> blocks;
+  std::vector<std::uint32_t> segment_end;
+};
+
+class TracePlan {
+ public:
+  /// Decodes, validates and summarizes every block of `trace`. Throws
+  /// TraceError exactly when replaying the trace would (truncated streams,
+  /// corrupt framing, segment/boundary mismatch).
+  static std::shared_ptr<const TracePlan> compile(const Trace& trace);
+
+  const std::vector<ThreadPlan>& threads() const { return threads_; }
+  std::size_t boundary_count() const { return boundary_count_; }
+
+  /// Approximate heap footprint (store accounting).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  TracePlan() = default;
+
+  std::vector<ThreadPlan> threads_;
+  std::size_t boundary_count_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace lpomp::trace

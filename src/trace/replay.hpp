@@ -30,6 +30,13 @@ struct ReplayConfig {
   std::uint64_t seed = 0x5eedULL;
   PageKind code_page_kind = PageKind::small4k;
 
+  /// Use the analytic fast-forward tier for this lane when a compiled
+  /// TracePlan is supplied (plan-less replays always interpret). Purely an
+  /// execution strategy: counters are bit-identical either way (the
+  /// four-way differential oracle's invariant); --no-analytic in the
+  /// benches flips it.
+  bool analytic = true;
+
   /// Optional sink observing the replayed stream. The replay reports events
   /// with *live framing* — a decoded pattern block surfaces as the same
   /// touch/run/strided/compute sequence a live run would have reported, one
@@ -49,6 +56,8 @@ struct ReplayOutcome {
   double checksum = 0.0;
 };
 
+class TracePlan;
+
 class ReplayDriver {
  public:
   explicit ReplayDriver(ReplayConfig config) : config_(std::move(config)) {}
@@ -57,6 +66,11 @@ class ReplayDriver {
   /// TraceError if the trace is malformed or does not fit the platform
   /// (more threads than hardware contexts).
   ReplayOutcome run(const Trace& trace) const;
+
+  /// Same replay served from a precompiled plan of the same trace: no
+  /// decode, and pattern blocks the lane can prove warm are fast-forwarded
+  /// analytically (when config().analytic). Bit-identical to run(trace).
+  ReplayOutcome run(const Trace& trace, const TracePlan& plan) const;
 
   const ReplayConfig& config() const { return config_; }
 

@@ -27,7 +27,7 @@ std::shared_ptr<const Trace> TraceStore::insert(const std::string& key,
     return std::make_shared<const Trace>(std::move(trace));
   }
   auto shared = std::make_shared<const Trace>(std::move(trace));
-  lru_.push_front(Entry{key, shared, bytes});
+  lru_.push_front(Entry{key, shared, nullptr, bytes});
   index_[key] = lru_.begin();
   bytes_ += bytes;
   ++counters_.insertions;
@@ -46,6 +46,28 @@ bool TraceStore::erase(const std::string& key) {
   return true;
 }
 
+std::shared_ptr<const TracePlan> TraceStore::plan_lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return it->second->plan;
+}
+
+void TraceStore::plan_insert(const std::string& key,
+                             std::shared_ptr<const TracePlan> plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->plan != nullptr) return;
+  Entry& e = *it->second;
+  const std::size_t plan_bytes = plan->bytes();
+  e.plan = std::move(plan);
+  e.bytes += plan_bytes;
+  bytes_ += plan_bytes;
+  evict_to_budget_locked();
+}
+
 void TraceStore::evict_to_budget_locked() {
   while (bytes_ > budget_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
@@ -62,6 +84,9 @@ TraceStore::Stats TraceStore::stats() const {
   s.traces = lru_.size();
   s.bytes = bytes_;
   s.budget = budget_;
+  for (const Entry& e : lru_) {
+    if (e.plan != nullptr) ++s.plans;
+  }
   return s;
 }
 

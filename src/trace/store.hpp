@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "trace/plan.hpp"
 #include "trace/trace.hpp"
 
 namespace lpomp::trace {
@@ -44,9 +45,24 @@ class TraceStore {
   /// unaffected (shared ownership).
   bool erase(const std::string& key);
 
+  /// Compiled plan cached for the trace under `key`, or nullptr when the
+  /// key is absent or no plan has been attached. Does not refresh LRU (a
+  /// plan lookup always follows a trace lookup).
+  std::shared_ptr<const TracePlan> plan_lookup(const std::string& key);
+
+  /// Attaches a compiled plan to the (resident) trace under `key`; the plan
+  /// shares the entry's lifetime (erase/eviction drop both) and its bytes
+  /// count against the byte budget. First attach wins — concurrent workers
+  /// may race to compile the same stream; the plans are identical anyway.
+  /// No-op when the key is absent (the trace was evicted meanwhile; the
+  /// caller's shared_ptr stays valid for its own replay).
+  void plan_insert(const std::string& key,
+                   std::shared_ptr<const TracePlan> plan);
+
   struct Stats {
     std::size_t traces = 0;   ///< entries currently resident
-    std::size_t bytes = 0;    ///< resident compressed bytes
+    std::size_t plans = 0;    ///< entries with a compiled plan attached
+    std::size_t bytes = 0;    ///< resident bytes (trace bytes + plans)
     std::size_t budget = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -61,6 +77,7 @@ class TraceStore {
   struct Entry {
     std::string key;
     std::shared_ptr<const Trace> trace;
+    std::shared_ptr<const TracePlan> plan;
     std::size_t bytes = 0;
   };
 

@@ -1,0 +1,388 @@
+// Block-classifier property test for the analytic fast-forward tier
+// (DESIGN.md §9).
+//
+// Two kinds of properties, over randomized and targeted affine pattern
+// blocks — including blocks that straddle cache-line, TLB-set, page and
+// period boundaries:
+//
+//   1. Structural: summarize_block's output must satisfy its documented
+//      invariants (independent recomputation of the whole-block constants,
+//      distinctness and set-equality of the footprint lists, the
+//      kMaxAnalyticLines eligibility rule, per-period spans partitioning
+//      the switch-event sequence).
+//   2. Behavioural: ThreadSim::replay_analytic must equal replay_pattern
+//      counter-for-counter — on cold state, on warm state (the pass where
+//      the closed-form commit actually fires), with and without an
+//      instruction stream due to jump mid-block, on both platforms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/phys_mem.hpp"
+#include "sim/block_summary.hpp"
+#include "sim/processor_spec.hpp"
+#include "sim/replay_slot.hpp"
+#include "sim/thread_sim.hpp"
+#include "support/rng.hpp"
+
+namespace lpomp {
+namespace {
+
+struct ExpectedTotals {
+  count_t accesses = 0, stores = 0, lookups4k = 0, lookups2m = 0;
+  cycles_t compute = 0;
+};
+
+ExpectedTotals recompute(const std::vector<sim::ReplaySlot>& slots,
+                         std::uint64_t periods) {
+  ExpectedTotals e;
+  for (const sim::ReplaySlot& s : slots) {
+    if (s.is_compute) {
+      e.compute += s.cycles * periods;
+      continue;
+    }
+    e.accesses += s.n * periods;
+    if (s.access == Access::store) e.stores += s.n * periods;
+    (s.page == PageKind::small4k ? e.lookups4k : e.lookups2m) +=
+        s.n * periods;
+  }
+  return e;
+}
+
+template <typename T>
+bool all_distinct(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return std::adjacent_find(v.begin(), v.end()) == v.end();
+}
+
+void check_summary_invariants(const std::vector<sim::ReplaySlot>& slots,
+                              std::uint64_t periods,
+                              const sim::BlockSummary& s) {
+  const ExpectedTotals e = recompute(slots, periods);
+  EXPECT_EQ(s.accesses, e.accesses);
+  EXPECT_EQ(s.stores, e.stores);
+  EXPECT_EQ(s.compute_cycles, e.compute);
+  EXPECT_EQ(s.lookups4k, e.lookups4k);
+  EXPECT_EQ(s.lookups2m, e.lookups2m);
+  EXPECT_EQ(s.lookups4k + s.lookups2m, s.accesses);
+  EXPECT_EQ(s.periods, periods);
+  if (periods > 0) {
+    EXPECT_EQ(s.pp_accesses * periods, s.accesses);
+    EXPECT_EQ(s.pp_stores * periods, s.stores);
+    EXPECT_EQ(s.pp_compute * periods, s.compute_cycles);
+  }
+
+  if (s.block_eligible) {
+    EXPECT_LE(s.lines_final.size(), sim::kMaxAnalyticLines);
+    EXPECT_TRUE(all_distinct(s.lines_final));
+    EXPECT_TRUE(all_distinct(s.lines_first));
+    // Same set in different stamp orders.
+    std::vector<std::uint64_t> a = s.lines_final, b = s.lines_first;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    EXPECT_LE(s.lines_final.size(), s.assoc_touches);
+    std::vector<std::uint64_t> page_keys;
+    page_keys.reserve(s.pages_final.size());
+    for (const tlb::Tlb::WarmPage& p : s.pages_final) {
+      page_keys.push_back((static_cast<std::uint64_t>(p.vpn) << 1) |
+                          static_cast<std::uint64_t>(p.kind));
+    }
+    EXPECT_TRUE(all_distinct(page_keys));
+  } else {
+    // The global lists are dropped when the block can never be resident.
+    EXPECT_TRUE(s.lines_final.empty());
+  }
+
+  if (periods > 1) {
+    ASSERT_EQ(s.period.size(), periods);
+    std::uint64_t assoc_sum = 0;
+    for (const sim::PeriodSpan& span : s.period) {
+      assoc_sum += span.assoc_touches;
+    }
+    EXPECT_EQ(assoc_sum, s.assoc_touches);
+  }
+}
+
+/// One production sim pair on identical structures: `interp` replays the
+/// block through the batched interpreter, `ana` through the analytic tier.
+struct SimPair {
+  sim::ThreadSim interp;
+  sim::ThreadSim ana;
+
+  SimPair(const sim::ProcessorSpec& spec, const sim::CostModel& cm,
+          const mem::AddressSpace& space, std::uint64_t seed, bool with_code)
+      : interp(cm, space, spec.itlb, spec.l1_dtlb, spec.l2_dtlb, spec.l1d,
+               spec.l2, seed),
+        ana(cm, space, spec.itlb, spec.l1_dtlb, spec.l2_dtlb, spec.l1d,
+            spec.l2, seed) {
+    if (with_code) {
+      // A short jump period forces instruction jumps to fall due inside
+      // most blocks, so the tier's jump guard (and the interpreter
+      // fallback behind it) is exercised, not just the pure closed form.
+      constexpr vaddr_t kCodeBase = 0x40'0000;
+      interp.attach_code(kCodeBase, KiB(96), PageKind::small4k, 300, 0.1);
+      ana.attach_code(kCodeBase, KiB(96), PageKind::small4k, 300, 0.1);
+    }
+  }
+
+  void apply(const std::vector<sim::ReplaySlot>& slots, std::uint64_t periods,
+             const sim::BlockSummary& summary) {
+    interp.replay_pattern(slots.data(), slots.size(), periods);
+    ana.replay_analytic(slots.data(), slots.size(), periods, summary);
+  }
+
+  ::testing::AssertionResult converged() {
+    std::ostringstream os;
+    bool same = true;
+    const sim::ThreadCounters& a = interp.counters();
+    const sim::ThreadCounters& b = ana.counters();
+#define LPOMP_BS_FIELD(field)                             \
+  if (a.field != b.field) {                               \
+    os << " " #field "=" << a.field << " vs " << b.field; \
+    same = false;                                         \
+  }
+    LPOMP_BS_FIELD(exec_cycles)
+    LPOMP_BS_FIELD(stall_cycles)
+    LPOMP_BS_FIELD(accesses)
+    LPOMP_BS_FIELD(stores)
+    LPOMP_BS_FIELD(l1d_misses)
+    LPOMP_BS_FIELD(l2d_misses)
+    LPOMP_BS_FIELD(dtlb_l1_misses)
+    LPOMP_BS_FIELD(dtlb_l2_hits)
+    LPOMP_BS_FIELD(dtlb_walks[0])
+    LPOMP_BS_FIELD(dtlb_walks[1])
+    LPOMP_BS_FIELD(walk_levels)
+    LPOMP_BS_FIELD(itlb_lookups)
+    LPOMP_BS_FIELD(itlb_misses)
+    LPOMP_BS_FIELD(prefetch_covered)
+    LPOMP_BS_FIELD(long_stalls)
+#undef LPOMP_BS_FIELD
+    if (interp.l1d().stats().lookups != ana.l1d().stats().lookups ||
+        interp.l1d().stats().hits != ana.l1d().stats().hits ||
+        interp.l2().stats().lookups != ana.l2().stats().lookups ||
+        interp.l2().stats().hits != ana.l2().stats().hits) {
+      os << " cache stats diverge";
+      same = false;
+    }
+    for (int k = 0; k < 2; ++k) {
+      if (interp.tlbs().l1d().stats().lookups[k] !=
+              ana.tlbs().l1d().stats().lookups[k] ||
+          interp.tlbs().l1d().stats().hits[k] !=
+              ana.tlbs().l1d().stats().hits[k]) {
+        os << " l1 dtlb stats diverge (kind " << k << ")";
+        same = false;
+      }
+    }
+    if (same) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << os.str();
+  }
+};
+
+struct Arena {
+  mem::PhysMem pm{MiB(64)};
+  mem::AddressSpace space{pm};
+  mem::Region small, large;
+  Arena() {
+    small = space.map_region(MiB(8), PageKind::small4k, "small");
+    large = space.map_region(MiB(8), PageKind::large2m, "large");
+  }
+};
+
+/// Cold pass then warm pass of the same block; the analytic and
+/// interpreted sims must agree after each.
+void check_block_identity(Arena& arena, const sim::ProcessorSpec& spec,
+                          const std::vector<sim::ReplaySlot>& slots,
+                          std::uint64_t periods, bool with_code,
+                          const std::string& what) {
+  const sim::BlockSummary summary =
+      sim::summarize_block(slots.data(), slots.size(), periods);
+  check_summary_invariants(slots, periods, summary);
+
+  const sim::CostModel cm;
+  SimPair pair(spec, cm, arena.space, 0x5eed, with_code);
+  pair.apply(slots, periods, summary);
+  ASSERT_TRUE(pair.converged()) << what << " (cold pass, " << spec.name
+                                << (with_code ? ", jumps due)" : ")");
+  pair.apply(slots, periods, summary);
+  ASSERT_TRUE(pair.converged()) << what << " (warm pass, " << spec.name
+                                << (with_code ? ", jumps due)" : ")");
+}
+
+// --- targeted boundary straddles --------------------------------------------
+
+std::vector<sim::ReplaySlot> one_slot(vaddr_t addr, std::uint64_t n,
+                                      std::int64_t stride,
+                                      std::int64_t period_inc, PageKind page,
+                                      Access access = Access::load) {
+  sim::ReplaySlot s;
+  s.addr = addr;
+  s.n = n;
+  s.stride = stride;
+  s.period_inc = period_inc;
+  s.page = page;
+  s.access = access;
+  return {s};
+}
+
+TEST(BlockSummary, TargetedBoundaryStraddles) {
+  Arena arena;
+  const vaddr_t sb = arena.small.base;
+  const vaddr_t lb = arena.large.base;
+
+  struct Case {
+    const char* name;
+    std::vector<sim::ReplaySlot> slots;
+    std::uint64_t periods;
+  };
+  const Case cases[] = {
+      // A unit-stride run whose elements straddle a 4 KB page boundary:
+      // two pages, lines split across them.
+      {"page-straddling run",
+       one_slot(sb + 4096 - 24, 8, 8, 0, PageKind::small4k), 1},
+      // Page-striding gather: every element a fresh page, walking the
+      // DTLB's sets end to end (and past its reach).
+      {"page-striding gather",
+       one_slot(sb, 96, 4096, 0, PageKind::small4k), 1},
+      // Same with stores and a periodic advance that re-enters earlier
+      // pages shifted by half a page: period boundary != page boundary.
+      {"page-striding periodic store",
+       one_slot(sb, 32, 4096, 2048, PageKind::small4k, Access::store), 5},
+      // Period boundary continuity: period p ends on the line period p+1
+      // starts on (stride-0 touches on a single line), so later periods
+      // carry the MRU entry and have no line-switch event at all.
+      {"carried-entry periods", one_slot(sb + 320, 16, 0, 0, PageKind::small4k),
+       6},
+      // The same carried-entry shape, but the period advance crosses a
+      // line boundary every second period (inc 32 < line size 64).
+      {"sub-line period drift", one_slot(sb + 640, 4, 8, 32, PageKind::small4k),
+       8},
+      // Backward stride crossing page boundaries downwards.
+      {"backward page straddle",
+       one_slot(sb + 5 * 4096 + 16, 40, -520, 0, PageKind::small4k), 2},
+      // Huge-page region: element span crosses a 2 MB boundary, so the
+      // block touches two large pages.
+      {"huge-page straddle",
+       one_slot(lb + MiB(2) - 256, 64, 8, 0, PageKind::large2m), 3},
+      // Mixed block: compute slots interleaved between touch slots, with
+      // periods (compute must not disturb line/page continuity).
+      {"mixed compute/touch",
+       [&] {
+         std::vector<sim::ReplaySlot> v =
+             one_slot(sb + 1024, 24, 8, 64, PageKind::small4k);
+         sim::ReplaySlot c;
+         c.is_compute = true;
+         c.cycles = 17;
+         v.push_back(c);
+         v.push_back(one_slot(sb + 8192, 4, 4096, 512, PageKind::small4k,
+                              Access::store)[0]);
+         return v;
+       }(),
+       4},
+  };
+
+  for (const sim::ProcessorSpec& spec :
+       {sim::ProcessorSpec::opteron270(), sim::ProcessorSpec::xeon_ht()}) {
+    for (const Case& c : cases) {
+      for (const bool with_code : {false, true}) {
+        check_block_identity(arena, spec, c.slots, c.periods, with_code,
+                             c.name);
+      }
+    }
+  }
+}
+
+// The eligibility rule itself: a block with more distinct lines than any
+// modelled L1 can hold is classified ineligible and carries no footprint.
+TEST(BlockSummary, OversizedBlockIsIneligible) {
+  Arena arena;
+  const std::vector<sim::ReplaySlot> big =
+      one_slot(arena.small.base, sim::kMaxAnalyticLines + 1, 64, 0,
+               PageKind::small4k);
+  const sim::BlockSummary s = sim::summarize_block(big.data(), 1, 1);
+  EXPECT_FALSE(s.block_eligible);
+  EXPECT_TRUE(s.lines_final.empty());
+  check_summary_invariants(big, 1, s);
+  // Identity still holds: the tier must fall back, not misaccount.
+  check_block_identity(arena, sim::ProcessorSpec::opteron270(), big, 1, false,
+                       "oversized block");
+
+  const std::vector<sim::ReplaySlot> fits =
+      one_slot(arena.small.base, sim::kMaxAnalyticLines, 64, 0,
+               PageKind::small4k);
+  EXPECT_TRUE(sim::summarize_block(fits.data(), 1, 1).block_eligible);
+}
+
+// Randomized affine blocks on both platforms: summary invariants plus the
+// cold/warm interpreted==analytic identity for every generated block.
+TEST(BlockSummary, RandomizedAffineBlocks) {
+  Arena arena;
+  constexpr int kBlocks = 400;
+  Rng gen(0xB10C5EEDULL);
+
+  for (int b = 0; b < kBlocks; ++b) {
+    const bool huge = gen.next_below(4) == 0;
+    const vaddr_t base = huge ? arena.large.base : arena.small.base;
+    const std::size_t window = MiB(8);
+    const PageKind kind = huge ? PageKind::large2m : PageKind::small4k;
+
+    const std::uint64_t periods = 1 + gen.next_below(8);
+    const std::size_t nslots = 1 + static_cast<std::size_t>(gen.next_below(4));
+    std::vector<sim::ReplaySlot> slots;
+    for (std::size_t si = 0; si < nslots; ++si) {
+      sim::ReplaySlot s;
+      if (gen.next_below(6) == 0) {
+        s.is_compute = true;
+        s.cycles = static_cast<cycles_t>(1 + gen.next_below(100));
+        slots.push_back(s);
+        continue;
+      }
+      static constexpr std::int64_t kStrides[] = {-4096, -72, -64, -8, 0,  8,
+                                                  16,    24,  64,  72, 520,
+                                                  4096,  4104};
+      static constexpr std::int64_t kIncs[] = {0,    8,     64,   512,
+                                               2048, 4096,  -64,  -4096};
+      s.stride = kStrides[gen.next_below(13)];
+      s.period_inc = kIncs[gen.next_below(8)];
+      s.n = 1 + gen.next_below(256);
+      s.page = kind;
+      s.access = gen.next_below(3) == 0 ? Access::store : Access::load;
+
+      const std::int64_t smag = s.stride < 0 ? -s.stride : s.stride;
+      const std::int64_t imag = s.period_inc < 0 ? -s.period_inc
+                                                 : s.period_inc;
+      auto span_of = [&] {
+        return smag * static_cast<std::int64_t>(s.n - 1) +
+               imag * static_cast<std::int64_t>(periods - 1);
+      };
+      while (span_of() > static_cast<std::int64_t>(window - 8) && s.n > 1) {
+        s.n /= 2;
+      }
+      if (span_of() > static_cast<std::int64_t>(window - 8)) continue;
+      const std::int64_t lo =
+          std::min<std::int64_t>(0,
+                                 s.stride * static_cast<std::int64_t>(s.n - 1)) +
+          std::min<std::int64_t>(
+              0, s.period_inc * static_cast<std::int64_t>(periods - 1));
+      const std::uint64_t play =
+          (window - 8 - static_cast<std::uint64_t>(span_of())) / 8 + 1;
+      s.addr = base + static_cast<vaddr_t>(-lo) + 8 * gen.next_below(play);
+      slots.push_back(s);
+    }
+    if (slots.empty()) continue;
+
+    const sim::ProcessorSpec spec = b % 2 == 0
+                                        ? sim::ProcessorSpec::opteron270()
+                                        : sim::ProcessorSpec::xeon_ht();
+    std::ostringstream what;
+    what << "random block " << b << " (periods " << periods << ", seed base "
+         << "0xB10C5EED)";
+    check_block_identity(arena, spec, slots, periods, b % 3 == 0, what.str());
+  }
+}
+
+}  // namespace
+}  // namespace lpomp

@@ -1,17 +1,25 @@
-// Differential oracle for the ThreadSim fast path (DESIGN.md §7).
+// Differential oracle for the ThreadSim fast path (DESIGN.md §7) and the
+// analytic fast-forward tier (DESIGN.md §9).
 //
-// Three simulators run every randomized access stream in lockstep:
+// Four simulators run every randomized access stream in lockstep:
 //
 //   fast — production ThreadSim, batched fast path enabled (the default);
 //   slow — production ThreadSim with set_fast_path(false), i.e. the
 //          per-event touch_impl loop on the production structures;
 //   ref  — tests/oracle/reference_sim.hpp, a naive single-step simulator
 //          with independently written TLB/cache models (per-set scans,
-//          no MRU filters, no probe hints, no bulk credits).
+//          no MRU filters, no probe hints, no bulk credits);
+//   ana  — production ThreadSim driven exclusively through
+//          replay_analytic(): every memory op is packaged as the replay
+//          pattern block the trace plan would carry (summarize_block +
+//          ReplaySlot) so warm spans take the closed-form commit and cold
+//          ones fall back to the batched interpreter — both paths must
+//          land on identical counters.
 //
 // After every stream, every counter — ThreadCounters plus the TLB and
-// cache structure stats — must agree across all three. The generator mixes
-// strides crossing 4 KB and 2 MB boundaries, page-kind mixes, TLB flushes
+// cache structure stats — must agree across all four. The generator mixes
+// strides crossing 4 KB and 2 MB boundaries, page-kind mixes, periodic
+// multi-slot pattern blocks (the per-period analytic tier), TLB flushes
 // (SMT context switches on pre-ASID hardware), and in-place superpage
 // promotion; streams run on both of the paper's platforms.
 //
@@ -38,11 +46,14 @@
 #include "mem/address_space.hpp"
 #include "npb/npb.hpp"
 #include "oracle/reference_sim.hpp"
+#include "sim/block_summary.hpp"
 #include "sim/processor_spec.hpp"
+#include "sim/replay_slot.hpp"
 #include "sim/thread_sim.hpp"
 #include "support/rng.hpp"
 #include "trace/codec.hpp"
 #include "trace/lane.hpp"
+#include "trace/plan.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
 
@@ -66,10 +77,11 @@ int stream_count() {
   return kDefaultStreams;
 }
 
-/// One simulator trio driven in lockstep.
-struct Trio {
+/// One simulator quartet driven in lockstep.
+struct Quad {
   sim::ThreadSim fast;
   sim::ThreadSim slow;
+  sim::ThreadSim ana;  ///< driven through replay_analytic pattern blocks
   oracle::RefThreadSim ref;
 };
 
@@ -78,8 +90,8 @@ tlb::Tlb::Config slice_tlb(const tlb::Tlb::Config& cfg, unsigned sharers) {
                           cfg.large2m.shared_slice(sharers)};
 }
 
-/// Builds a trio with machine.cpp's sharing-sliced structures.
-Trio make_trio(const sim::ProcessorSpec& spec, const sim::CostModel& cm,
+/// Builds a quartet with machine.cpp's sharing-sliced structures.
+Quad make_quad(const sim::ProcessorSpec& spec, const sim::CostModel& cm,
                const mem::AddressSpace& space, unsigned core_sharers,
                unsigned l2_sharers, std::uint64_t seed) {
   const tlb::Tlb::Config itlb = slice_tlb(spec.itlb, core_sharers);
@@ -90,7 +102,8 @@ Trio make_trio(const sim::ProcessorSpec& spec, const sim::CostModel& cm,
                    : std::nullopt;
   const cache::CacheGeometry l1d = spec.l1d.shared_slice(core_sharers);
   const cache::CacheGeometry l2 = spec.l2.shared_slice(l2_sharers);
-  return Trio{
+  return Quad{
+      sim::ThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed),
       sim::ThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed),
       sim::ThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed),
       oracle::RefThreadSim(cm, space, itlb, l1_dtlb, l2_dtlb, l1d, l2, seed)};
@@ -144,8 +157,8 @@ bool diff_cache(const cache::Cache::Stats& a, const oracle::RefCache::Stats& b,
 
 #undef LPOMP_DIFF_FIELD
 
-/// Full three-way comparison; returns a description of every divergence.
-::testing::AssertionResult trio_converged(Trio& t) {
+/// Full four-way comparison; returns a description of every divergence.
+::testing::AssertionResult quad_converged(Quad& t) {
   std::ostringstream os;
   bool same = true;
 
@@ -153,10 +166,13 @@ bool diff_cache(const cache::Cache::Stats& a, const oracle::RefCache::Stats& b,
   same &= diff_counters(t.fast.counters(), t.ref.counters(), os);
   os << " [slow vs ref counters]";
   same &= diff_counters(t.slow.counters(), t.ref.counters(), os);
+  os << " [ana vs ref counters]";
+  same &= diff_counters(t.ana.counters(), t.ref.counters(), os);
 
   for (auto [sim_ptr, label] :
        {std::pair<sim::ThreadSim*, const char*>{&t.fast, "fast"},
-        std::pair<sim::ThreadSim*, const char*>{&t.slow, "slow"}}) {
+        std::pair<sim::ThreadSim*, const char*>{&t.slow, "slow"},
+        std::pair<sim::ThreadSim*, const char*>{&t.ana, "ana"}}) {
     os << " [" << label << " vs ref l1 dtlb]";
     same &= diff_tlb(sim_ptr->tlbs().l1d().stats(), t.ref.tlbs().l1d().stats(),
                      os);
@@ -214,37 +230,41 @@ void run_platform(const sim::ProcessorSpec& spec) {
   // Two sharing variants per platform, sliced the way Machine slices them:
   // solo, and a fully loaded core (SMT co-residents on the TLBs/L1, chip
   // co-residents on a shared L2).
-  std::vector<Trio> trios;
+  std::vector<Quad> quads;
   std::vector<unsigned> active = {1, 4};
   for (unsigned v = 0; v < 2; ++v) {
     const unsigned core_sharers = v == 0 ? 1 : 2;
     const unsigned l2_sharers =
         v == 0 ? 1 : (spec.l2_shared_per_chip ? 4 : 2);
-    trios.push_back(make_trio(spec, cm, lay.space, core_sharers, l2_sharers,
+    quads.push_back(make_quad(spec, cm, lay.space, core_sharers, l2_sharers,
                               seed0 + 0x9e37 * (v + 1)));
-    Trio& t = trios.back();
+    Quad& t = quads.back();
     t.slow.set_fast_path(false);
     const count_t jump_period = v == 0 ? 53 : 97;
-    for (int which = 0; which < 3; ++which) {
-      // Unmapped code base is fine: the instruction stream only probes the
-      // ITLB, it never walks the page table.
-      constexpr vaddr_t kCodeBase = 0x40'0000;
-      constexpr std::size_t kCodeSize = KiB(160);
-      if (which == 0) {
-        t.fast.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
-                           jump_period, 0.15);
-        t.fast.set_active_threads(active[v]);
-      } else if (which == 1) {
-        t.slow.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
-                           jump_period, 0.15);
-        t.slow.set_active_threads(active[v]);
-      } else {
-        t.ref.attach_code(kCodeBase, kCodeSize, PageKind::small4k,
-                          jump_period, 0.15);
-        t.ref.set_active_threads(active[v]);
-      }
+    // Unmapped code base is fine: the instruction stream only probes the
+    // ITLB, it never walks the page table.
+    constexpr vaddr_t kCodeBase = 0x40'0000;
+    constexpr std::size_t kCodeSize = KiB(160);
+    for (sim::ThreadSim* s : {&t.fast, &t.slow, &t.ana}) {
+      s->attach_code(kCodeBase, kCodeSize, PageKind::small4k, jump_period,
+                     0.15);
+      s->set_active_threads(active[v]);
     }
+    t.ref.attach_code(kCodeBase, kCodeSize, PageKind::small4k, jump_period,
+                      0.15);
+    t.ref.set_active_threads(active[v]);
   }
+
+  // The analytic column: package the op as the pattern block the trace
+  // plan would carry, summarize it (the compile-time half) and drive it
+  // through replay_analytic (the run-time half). Warm spans take the
+  // closed-form commit; everything else falls back to the interpreter —
+  // either way the counters must match the other three engines.
+  auto ana_block = [](sim::ThreadSim& ana, const sim::ReplaySlot* slots,
+                      std::size_t count, std::uint64_t periods) {
+    const sim::BlockSummary s = sim::summarize_block(slots, count, periods);
+    ana.replay_analytic(slots, count, periods, s);
+  };
 
   std::ostringstream corpus;
   for (int stream = 0; stream < streams; ++stream) {
@@ -284,25 +304,37 @@ void run_platform(const sim::ProcessorSpec& spec) {
       if (roll < 30) {
         // Single touch.
         const vaddr_t addr = base + 8 * gen.next_below(limit / 8);
+        sim::ReplaySlot slot;
+        slot.addr = addr;
+        slot.n = 1;
+        slot.page = kind;
+        slot.access = access;
         for (int w = 0; w < 2; ++w) {
-          Trio& t = trios[static_cast<std::size_t>(w)];
+          Quad& t = quads[static_cast<std::size_t>(w)];
           t.fast.touch(addr, kind, access);
           t.slow.touch(addr, kind, access);
           t.ref.touch(addr, kind, access);
+          ana_block(t.ana, &slot, 1, 1);
         }
-      } else if (roll < 55) {
+      } else if (roll < 50) {
         // Unit-stride run crossing line/page (and, in the 2 MB region,
         // huge-page) boundaries.
         auto n = static_cast<std::size_t>(1 + gen.next_below(600));
         if (n > limit / 8) n = limit / 8;
         const vaddr_t addr = base + 8 * gen.next_below(limit / 8 - n + 1);
+        sim::ReplaySlot slot;
+        slot.addr = addr;
+        slot.n = n;
+        slot.page = kind;
+        slot.access = access;
         for (int w = 0; w < 2; ++w) {
-          Trio& t = trios[static_cast<std::size_t>(w)];
+          Quad& t = quads[static_cast<std::size_t>(w)];
           t.fast.touch_run(addr, n, kind, access);
           t.slow.touch_run(addr, n, kind, access);
           t.ref.touch_run(addr, n, kind, access);
+          ana_block(t.ana, &slot, 1, 1);
         }
-      } else if (roll < 80) {
+      } else if (roll < 70) {
         // Strided run: forward, backward, zero, sub-line, multi-line, and
         // page-striding (> 4 KB) strides.
         static constexpr std::int64_t kStrides[] = {
@@ -325,26 +357,118 @@ void run_platform(const sim::ProcessorSpec& spec) {
         } else {
           addr = base + span + 8 * gen.next_below((limit - 8 - span) / 8 + 1);
         }
+        sim::ReplaySlot slot;
+        slot.addr = addr;
+        slot.n = n;
+        slot.stride = stride;
+        slot.page = kind;
+        slot.access = access;
         for (int w = 0; w < 2; ++w) {
-          Trio& t = trios[static_cast<std::size_t>(w)];
+          Quad& t = quads[static_cast<std::size_t>(w)];
           t.fast.touch_strided(addr, n, stride, kind, access);
           t.slow.touch_strided(addr, n, stride, kind, access);
           t.ref.touch_strided(addr, n, stride, kind, access);
+          ana_block(t.ana, &slot, 1, 1);
+        }
+      } else if (roll < 80) {
+        // Periodic multi-slot pattern block — the shape REPEAT blocks
+        // decode into, and the only shape that reaches the analytic tier's
+        // per-period chaining. fast takes the batched interpreter
+        // (replay_pattern), slow and ref expand per event, ana goes
+        // through summarize + replay_analytic.
+        const std::uint64_t periods = 2 + gen.next_below(7);
+        const std::size_t nslots =
+            1 + static_cast<std::size_t>(gen.next_below(3));
+        std::vector<sim::ReplaySlot> slots;
+        for (std::size_t si = 0; si < nslots; ++si) {
+          sim::ReplaySlot s;
+          if (gen.next_below(5) == 0) {
+            s.is_compute = true;
+            s.cycles = static_cast<cycles_t>(1 + gen.next_below(60));
+            slots.push_back(s);
+            continue;
+          }
+          static constexpr std::int64_t kBlockStrides[] = {-64, 0,  8, 16,
+                                                           64,  72, 520};
+          static constexpr std::int64_t kIncs[] = {0,   8,    64,
+                                                   512, 4096, -512};
+          s.stride = kBlockStrides[gen.next_below(7)];
+          s.period_inc = kIncs[gen.next_below(6)];
+          s.n = 1 + gen.next_below(64);
+          s.page = kind;
+          s.access = gen.next_below(3) == 0 ? Access::store : Access::load;
+          // Clamp the block's whole-life span inside the window, then
+          // place the base so every periodic advance stays in bounds.
+          const std::int64_t smag = s.stride < 0 ? -s.stride : s.stride;
+          const std::int64_t imag =
+              s.period_inc < 0 ? -s.period_inc : s.period_inc;
+          auto span_of = [&] {
+            return smag * static_cast<std::int64_t>(s.n - 1) +
+                   imag * static_cast<std::int64_t>(periods - 1);
+          };
+          while (span_of() > static_cast<std::int64_t>(limit - 8) &&
+                 s.n > 1) {
+            s.n /= 2;
+          }
+          const std::int64_t span = span_of();
+          if (span > static_cast<std::int64_t>(limit - 8)) continue;
+          const std::int64_t lo =
+              std::min<std::int64_t>(
+                  0, s.stride * static_cast<std::int64_t>(s.n - 1)) +
+              std::min<std::int64_t>(
+                  0, s.period_inc * static_cast<std::int64_t>(periods - 1));
+          const std::uint64_t play =
+              (limit - 8 - static_cast<std::uint64_t>(span)) / 8 + 1;
+          s.addr = base + static_cast<vaddr_t>(-lo) + 8 * gen.next_below(play);
+          slots.push_back(s);
+        }
+        if (slots.empty()) continue;
+        for (int w = 0; w < 2; ++w) {
+          Quad& t = quads[static_cast<std::size_t>(w)];
+          t.fast.replay_pattern(slots.data(), slots.size(), periods);
+          for (std::uint64_t p = 0; p < periods; ++p) {
+            for (const sim::ReplaySlot& s : slots) {
+              if (s.is_compute) {
+                t.slow.add_compute(s.cycles);
+                t.ref.add_compute(s.cycles);
+                continue;
+              }
+              const auto a = static_cast<vaddr_t>(
+                  static_cast<std::int64_t>(s.addr) +
+                  s.period_inc * static_cast<std::int64_t>(p));
+              if (s.n == 1) {
+                t.slow.touch(a, s.page, s.access);
+                t.ref.touch(a, s.page, s.access);
+              } else if (s.stride == 8) {
+                t.slow.touch_run(a, s.n, s.page, s.access);
+                t.ref.touch_run(a, s.n, s.page, s.access);
+              } else {
+                t.slow.touch_strided(a, s.n, s.stride, s.page, s.access);
+                t.ref.touch_strided(a, s.n, s.stride, s.page, s.access);
+              }
+            }
+          }
+          ana_block(t.ana, slots.data(), slots.size(), periods);
         }
       } else if (roll < 88) {
         const auto cycles = static_cast<cycles_t>(gen.next_below(500));
+        sim::ReplaySlot slot;
+        slot.is_compute = true;
+        slot.cycles = cycles;
         for (int w = 0; w < 2; ++w) {
-          Trio& t = trios[static_cast<std::size_t>(w)];
+          Quad& t = quads[static_cast<std::size_t>(w)];
           t.fast.add_compute(cycles);
           t.slow.add_compute(cycles);
           t.ref.add_compute(cycles);
+          ana_block(t.ana, &slot, 1, 1);
         }
       } else if (roll < 94) {
         // SMT context switch on pre-ASID hardware: all translations drop.
         for (int w = 0; w < 2; ++w) {
-          Trio& t = trios[static_cast<std::size_t>(w)];
+          Quad& t = quads[static_cast<std::size_t>(w)];
           t.fast.tlbs().flush_all();
           t.slow.tlbs().flush_all();
+          t.ana.tlbs().flush_all();
           t.ref.flush_tlbs();
         }
       } else {
@@ -364,9 +488,10 @@ void run_platform(const sim::ProcessorSpec& spec) {
           lay.promoted[chunk] = true;
           ASSERT_EQ(lay.space.kind_at(chunk_base), PageKind::large2m);
           for (int w = 0; w < 2; ++w) {
-            Trio& t = trios[static_cast<std::size_t>(w)];
+            Quad& t = quads[static_cast<std::size_t>(w)];
             t.fast.tlbs().flush_all();
             t.slow.tlbs().flush_all();
+            t.ana.tlbs().flush_all();
             t.ref.flush_tlbs();
           }
         }
@@ -374,7 +499,7 @@ void run_platform(const sim::ProcessorSpec& spec) {
     }
 
     for (unsigned v = 0; v < 2; ++v) {
-      ASSERT_TRUE(trio_converged(trios[v]))
+      ASSERT_TRUE(quad_converged(quads[v]))
           << "platform=" << spec.name << " variant=" << v
           << " stream=" << stream << " stream_seed=0x" << std::hex << seed
           << " base_seed=0x" << seed0 << std::dec
@@ -502,8 +627,21 @@ trace::Trace make_lane_trace(std::uint64_t seed, PageKind kind,
         const vaddr_t addr =
             stride >= 0 ? pool_base + slack : pool_base + span + slack;
         e.touch_strided(addr, n, stride, kind, access);
-      } else if (roll < 82) {
+      } else if (roll < 78) {
         e.compute(static_cast<cycles_t>(gen.next_below(500)));
+      } else if (roll < 88) {
+        // Hot motif: the identical small sweep issued back-to-back. It
+        // encodes into a REPEAT block with period_inc 0 whose span is
+        // L1/DTLB-resident after the first pass — the analytic-eligible
+        // shape — while the other motifs produce fallback blocks, so the
+        // mix exercises both tiers inside one lane group.
+        const unsigned reps = 3 + static_cast<unsigned>(gen.next_below(4));
+        const vaddr_t hot = pool_base + 8 * gen.next_below((window / 2) / 8);
+        const auto hn =
+            static_cast<std::uint64_t>(32 + gen.next_below(64));
+        for (unsigned r = 0; r < reps; ++r) {
+          e.touch_run(hot, hn, kind, access);
+        }
       } else {
         // Periodic motif: constant per-iteration deltas, enough iterations
         // for the encoder's repeat detector to emit a multi-period block.
@@ -587,17 +725,39 @@ TEST(SimDifferential, LaneIdentityMatchesSingleLaneReplay) {
           i < 2 ? PageKind::small4k : PageKind::large2m;
     }
 
+    // Four replay modes of the same stream: decoded multi-lane, compiled
+    // multi-lane (with analytic eligibility deliberately mixed across the
+    // heterogeneous lanes), decoded solo, and compiled analytic solo — all
+    // must match the solo interpreted replay counter-for-counter.
+    const std::shared_ptr<const trace::TracePlan> plan =
+        trace::TracePlan::compile(tr);
+    std::vector<trace::ReplayConfig> plan_cfgs = cfgs;
+    plan_cfgs[1].analytic = false;
+    plan_cfgs[3].analytic = false;
+
     const std::vector<trace::ReplayOutcome> multi =
         trace::MultiReplayDriver(cfgs).run(tr);
+    const std::vector<trace::ReplayOutcome> multi_plan =
+        trace::MultiReplayDriver(plan_cfgs).run(tr, *plan);
     ASSERT_EQ(multi.size(), cfgs.size());
+    ASSERT_EQ(multi_plan.size(), cfgs.size());
     for (std::size_t lane = 0; lane < cfgs.size(); ++lane) {
       const trace::ReplayOutcome solo = trace::ReplayDriver(cfgs[lane]).run(tr);
-      ASSERT_TRUE(outcomes_identical(multi[lane], solo))
-          << "lane=" << lane << " spec=" << cfgs[lane].spec.name
-          << " stream=" << stream << " page_kind=" << static_cast<int>(kind)
-          << " stream_seed=0x" << std::hex << seed << " base_seed=0x" << seed0
-          << std::dec << " (rerun with LPOMP_DIFF_SEED=0x" << std::hex << seed0
-          << std::dec << ")";
+      const trace::ReplayOutcome solo_plan =
+          trace::ReplayDriver(cfgs[lane]).run(tr, *plan);
+      const auto context = [&](const char* mode) {
+        std::ostringstream os;
+        os << mode << " lane=" << lane << " spec=" << cfgs[lane].spec.name
+           << " stream=" << stream << " page_kind=" << static_cast<int>(kind)
+           << " stream_seed=0x" << std::hex << seed << " base_seed=0x" << seed0
+           << std::dec << " (rerun with LPOMP_DIFF_SEED=0x" << std::hex
+           << seed0 << std::dec << ")";
+        return os.str();
+      };
+      ASSERT_TRUE(outcomes_identical(multi[lane], solo)) << context("multi");
+      ASSERT_TRUE(outcomes_identical(multi_plan[lane], solo))
+          << context("multi+plan");
+      ASSERT_TRUE(outcomes_identical(solo_plan, solo)) << context("solo+plan");
     }
   }
 

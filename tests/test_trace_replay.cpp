@@ -12,6 +12,8 @@
 #include "npb/npb.hpp"
 #include "prof/profile.hpp"
 #include "sim/thread_sim.hpp"
+#include "trace/codec.hpp"
+#include "trace/plan.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 #include "trace/store.hpp"
@@ -132,7 +134,12 @@ TEST(TraceReplay, Figure4GridIdentity) {
     const exec::RunRecord live =
         exec::ExperimentEngine::execute_task(live_task);
     EXPECT_TRUE(live.same_result(via_store)) << task.label();
-    if (via_store.trace_source == "replay") ++replays;
+    // Store-backed repeats replay through the compiled plan ("analytic" by
+    // default; "replay" is the --no-analytic interpreter spelling).
+    if (via_store.trace_source == "analytic" ||
+        via_store.trace_source == "replay") {
+      ++replays;
+    }
   }
   // The grid has two platforms: at minimum the second platform's
   // 1/2/4-thread points replay streams recorded on the first.
@@ -141,16 +148,22 @@ TEST(TraceReplay, Figure4GridIdentity) {
 }
 
 // End-to-end through the engine: a trace-backed sweep equals a live sweep
-// record-for-record, under both execution strategies — the default fused
-// multi-lane schedule (stream groups served by one live leader plus lanes)
-// and the store-based record/replay schedule (multilane off).
+// record-for-record, under every execution strategy — the default analytic
+// schedule (leader records, followers fast-forward the compiled plan), the
+// live-leader fused multi-lane schedule (--no-analytic), and the store-based
+// record/replay schedule (multilane off).
 TEST(TraceReplay, EngineSweepMatchesLive) {
   exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 4);
   spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
   spec.platforms.push_back(sim::ProcessorSpec::xeon_ht());
 
   spec.trace_backed = true;
-  exec::ExperimentEngine fused;
+  exec::ExperimentEngine analytic_eng;
+  const exec::SweepResult analytic = analytic_eng.run(spec);
+
+  exec::ExperimentEngine::Config lane_cfg;
+  lane_cfg.analytic = false;
+  exec::ExperimentEngine fused(lane_cfg);
   const exec::SweepResult multilane = fused.run(spec);
 
   exec::ExperimentEngine::Config store_cfg;
@@ -162,19 +175,32 @@ TEST(TraceReplay, EngineSweepMatchesLive) {
   exec::ExperimentEngine plain;
   const exec::SweepResult live = plain.run(spec);
 
+  ASSERT_EQ(analytic.records.size(), live.records.size());
   ASSERT_EQ(multilane.records.size(), live.records.size());
   ASSERT_EQ(via_store.records.size(), live.records.size());
   std::size_t lanes_seen = 0;
+  std::size_t analytic_seen = 0;
   for (std::size_t i = 0; i < live.records.size(); ++i) {
+    EXPECT_TRUE(live.records[i].same_result(analytic.records[i]))
+        << live.records[i].kernel;
     EXPECT_TRUE(live.records[i].same_result(multilane.records[i]))
         << live.records[i].kernel;
     EXPECT_TRUE(live.records[i].same_result(via_store.records[i]))
         << live.records[i].kernel;
     EXPECT_EQ(live.records[i].trace_source, "live");
     lanes_seen += multilane.records[i].trace_source == "lane" ? 1 : 0;
+    analytic_seen += analytic.records[i].trace_source == "analytic" ? 1 : 0;
   }
-  // The grid has two platforms per stream: the fused schedule must actually
-  // have covered the second platform's points as lanes...
+  // The grid has two platforms per stream: the analytic schedule must have
+  // served the second platform's points as plan-replayed followers...
+  EXPECT_GT(analytic.fused_groups, 0u);
+  EXPECT_EQ(analytic.fused_lanes, analytic_seen);
+  EXPECT_GT(analytic_seen, 0u);
+  EXPECT_EQ(analytic.replay_fallbacks, 0u);
+  // ...recording each stream group's leader into the store exactly once.
+  EXPECT_GT(analytic_eng.trace_store().stats().insertions, 0u);
+
+  // The live-leader fused schedule covers the same points as sink-fed lanes...
   EXPECT_GT(multilane.fused_groups, 0u);
   EXPECT_EQ(multilane.fused_lanes, lanes_seen);
   EXPECT_GT(lanes_seen, 0u);
@@ -190,8 +216,9 @@ TEST(TraceReplay, EngineSweepMatchesLive) {
   EXPECT_GT(ts.released, 0u);
   EXPECT_EQ(ts.traces, 0u);
   EXPECT_EQ(via_store.fused_groups, 0u);
-  // Deterministic JSON must be identical across all three strategies;
+  // Deterministic JSON must be identical across all four strategies;
   // trace_source is host-only provenance.
+  EXPECT_EQ(analytic.to_json(false), live.to_json(false));
   EXPECT_EQ(multilane.to_json(false), live.to_json(false));
   EXPECT_EQ(via_store.to_json(false), live.to_json(false));
 }
@@ -266,6 +293,103 @@ TEST(TraceReplay, ExecuteTaskFallsBackOnCorruptTrace) {
   const exec::RunRecord again = exec::ExperimentEngine::execute_task(task, &store);
   EXPECT_EQ(again.trace_source, "record");
   EXPECT_TRUE(live.same_result(again));
+}
+
+// --- corrupt-trace fuzz -----------------------------------------------------
+//
+// Two concrete corruptions of otherwise well-formed streams, each of which
+// must be rejected at decode/compile time (TraceError) and degrade through
+// the engine to trace_source="fallback" with counter-identical JSON — under
+// both execution strategies (analytic plan compile and interpreted replay).
+
+void expect_corrupt_falls_back(const exec::RunTask& task,
+                               const trace::Trace& corrupt,
+                               const std::string& what) {
+  // The corruption must be rejected by both consumers of the bytes: the
+  // plan compiler (analytic strategy) and the replay decode (interpreted).
+  EXPECT_THROW(trace::TracePlan::compile(corrupt), trace::TraceError) << what;
+  trace::ReplayDriver driver(trace::ReplayConfig{
+      sim::ProcessorSpec::opteron270(), {}, 0x5eedULL, PageKind::small4k});
+  EXPECT_THROW(driver.run(corrupt), trace::TraceError) << what;
+
+  const exec::RunRecord live = exec::ExperimentEngine::execute_task(task);
+  for (const bool analytic : {true, false}) {
+    trace::TraceStore store;
+    const std::string key = corrupt.key();
+    store.insert(key, corrupt);
+    const exec::RunRecord rec =
+        exec::ExperimentEngine::execute_task(task, &store, analytic);
+    EXPECT_TRUE(rec.ok) << what;
+    EXPECT_EQ(rec.trace_source, "fallback")
+        << what << (analytic ? " (analytic)" : " (interpreted)");
+    // The poisoned entry is dropped and the result is bit-identical to a
+    // live run — deterministic JSON included.
+    EXPECT_EQ(store.lookup(key), nullptr) << what;
+    EXPECT_TRUE(live.same_result(rec)) << what;
+    EXPECT_EQ(live.to_json(false), rec.to_json(false)) << what;
+  }
+}
+
+// Case 1: a genuine recorded stream truncated mid-pattern-block — the tail
+// (END marker and trailing segments) is gone, so decode runs off the end.
+TEST(TraceReplay, TruncatedPatternBlockFallsBack) {
+  exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 2);
+  spec.kernels = {npb::Kernel::MG};
+  spec.trace_backed = true;
+  const std::vector<exec::RunTask> tasks = spec.expand();
+  ASSERT_FALSE(tasks.empty());
+  const exec::RunTask& task = tasks.front();
+
+  const LiveRun live =
+      record_live(npb::Kernel::MG, npb::Klass::S,
+                  sim::ProcessorSpec::opteron270(), task.threads,
+                  task.page_kind);
+  trace::Trace corrupt = live.trace;
+  std::string& stream = corrupt.streams.back();
+  ASSERT_GT(stream.size(), 16u);
+  stream.resize(stream.size() / 2);
+
+  expect_corrupt_falls_back(task, corrupt, "truncated pattern block");
+}
+
+// Case 2: a single bit flipped in a STRIDED block's opcode header turns it
+// into an unknown opcode — framing validation must reject the stream, not
+// misparse the payload bytes that follow.
+TEST(TraceReplay, BitFlippedStrideHeaderFallsBack) {
+  exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 2);
+  spec.kernels = {npb::Kernel::CG};
+  spec.trace_backed = true;
+  const std::vector<exec::RunTask> tasks = spec.expand();
+  ASSERT_FALSE(tasks.empty());
+  const exec::RunTask& task = tasks.front();
+
+  // Hand-built well-formed streams whose first event is a strided run, so
+  // the byte to corrupt sits at a known offset. (The uncorrupted trace is
+  // never replayed — the engine trusts store keys; this test is about the
+  // corrupted bytes being *rejected*, not about stream content.)
+  trace::Trace corrupt;
+  corrupt.meta.kernel = task.kernel == npb::Kernel::CG ? "CG" : "MG";
+  corrupt.meta.klass = "S";
+  corrupt.meta.threads = task.threads;
+  corrupt.meta.page_kind = task.page_kind;
+  corrupt.meta.verified = true;
+  corrupt.boundaries = {sim::BoundaryKind::end_run};
+  for (unsigned t = 0; t < task.threads; ++t) {
+    trace::ThreadEncoder enc;
+    enc.touch_strided(0x10'0000, 300, 64, task.page_kind, Access::load);
+    enc.touch_run(0x10'0000, 64, task.page_kind, Access::store);
+    enc.segment();
+    enc.finish();
+    corrupt.streams.push_back(enc.take_bytes());
+  }
+
+  // The wire begins with the STRIDED opcode (0x05); one flipped bit makes
+  // it an opcode the grammar does not define (0x25).
+  std::string& stream = corrupt.streams.front();
+  ASSERT_EQ(static_cast<std::uint8_t>(stream[0]), 0x05u);
+  stream[0] = static_cast<char>(static_cast<std::uint8_t>(stream[0]) ^ 0x20);
+
+  expect_corrupt_falls_back(task, corrupt, "bit-flipped stride header");
 }
 
 // Store bookkeeping: erase() drops an entry (freeing its budget share)
