@@ -13,7 +13,8 @@
 // Uses the engine's explicit task-list API: every (flush, page kind) cell
 // is an independent RunTask carrying its own CostModel, so the whole sweep
 // fans out across --workers= and each distinct cost model gets its own
-// result-cache entry. The tasks are trace-backed (--no-trace disables):
+// result-cache entry. The tasks are trace-backed (--strategy=live runs
+// everything plain):
 // the flush axis re-simulates only four distinct address streams
 // (threads × page kind), so the kernel numerics run four times, not
 // fourteen.
@@ -42,7 +43,8 @@ int main(int argc, char** argv) {
     task.cost.smt_flush = flush;
     task.threads = threads;
     task.page_kind = kind;
-    task.trace_backed = !opts.get_flag("no-trace");
+    task.trace_backed =
+        bench::strategy_from(opts) != exec::Strategy::Live;
     return task;
   };
 

@@ -99,22 +99,56 @@ inline std::string improvement(double t4k, double t2m) {
 
 // --- experiment-engine plumbing (parallel harnesses) -------------------------
 
+/// The sweep's execution strategy from --strategy=live|recorded|multilane|
+/// analytic|auto (default auto). The historical spellings remain as
+/// back-compat aliases — --no-trace → live, --no-multilane → recorded,
+/// --no-analytic → multilane — each printing the --strategy= equivalent so
+/// scripts migrate themselves. Results are bit-identical under every
+/// strategy.
+inline exec::Strategy strategy_from(const Options& opts) {
+  const std::string name = opts.get("strategy", "");
+  if (!name.empty()) {
+    const std::optional<exec::Strategy> s = exec::strategy_from_name(name);
+    if (!s) {
+      std::cerr << "unknown --strategy=" << name
+                << " (valid: live, recorded, multilane, analytic, auto)\n";
+      std::exit(2);
+    }
+    return *s;
+  }
+  const bool no_trace = opts.get_flag("no-trace");
+  const bool no_multilane = opts.get_flag("no-multilane");
+  const bool no_analytic = opts.get_flag("no-analytic");
+  if (!no_trace && !no_multilane && !no_analytic) return exec::Strategy::Auto;
+  const exec::Strategy s = no_trace        ? exec::Strategy::Live
+                           : no_multilane  ? exec::Strategy::Recorded
+                                           : exec::Strategy::Multilane;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::cerr << "note: --no-trace/--no-multilane/--no-analytic are "
+                 "deprecated; this invocation is --strategy="
+              << exec::strategy_name(s) << "\n";
+  }
+  return s;
+}
+
 /// Engine sized from --workers= / LPOMP_WORKERS (0 → one per host core);
 /// --trace-store-mb= bounds the trace store backing trace-backed sweeps.
 /// The default must fit the largest single class-R stream (a 1-thread
 /// BT/FT trace runs to several hundred MB): a trace larger than the whole
 /// budget is never stored, and its second use silently re-records.
-/// --no-multilane disables fused multi-lane groups (the record/replay
-/// store path serves stream groups instead); --no-analytic disables the
-/// compiled-plan analytic fast-forward tier (replays interpret every
-/// block). Results are bit-identical under any combination.
+/// --strategy= picks the execution strategy (strategy_from above);
+/// --store-dir= layers the disk-persistent result store under the LRU so
+/// results survive the process. Results are bit-identical under any
+/// combination.
 inline exec::ExperimentEngine make_engine(const Options& opts) {
   exec::ExperimentEngine::Config cfg;
   cfg.workers = static_cast<unsigned>(opts.get_int("workers", 0));
   cfg.trace_store_bytes =
       MiB(static_cast<std::size_t>(opts.get_int("trace-store-mb", 2048)));
-  cfg.multilane = !opts.get_flag("no-multilane");
-  cfg.analytic = !opts.get_flag("no-analytic");
+  cfg.strategy = strategy_from(opts);
+  cfg.store_dir = opts.get("store-dir", "");
   return exec::ExperimentEngine(cfg);
 }
 

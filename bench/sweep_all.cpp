@@ -13,12 +13,16 @@
 // the first grid point runs live while recording, the stream is compiled
 // into a TracePlan once, and every other platform/seed point replays the
 // plan with the analytic fast-forward tier, skipping the kernel numerics
-// without changing a single counter. --no-analytic drops to live-leader
-// lane fan-out, --no-multilane falls back to the record-then-replay trace
-// store path (analytic plan replays unless --no-analytic too), --no-trace
-// runs everything live; every combination produces bit-identical grids.
+// without changing a single counter. --strategy= picks the execution
+// strategy explicitly: analytic (the default via auto), multilane
+// (live-leader lane fan-out), recorded (record-then-replay trace store
+// path), live (no traces at all); every choice produces bit-identical
+// grids. The historical --no-trace/--no-multilane/--no-analytic flags
+// remain as aliases that print their --strategy= equivalent.
 // --replay-check runs every recordable task live, interpreted-replayed and
 // analytic-replayed, and verifies three-way bit-identity across the grid.
+// --store-dir= layers the disk-persistent result store under the cache
+// (the same store the sweep daemon serves from).
 //
 // --json-out=BENCH_sweep.json writes the machine-readable perf summary CI
 // trends: cold/warm wall-clock, warm cache-hit rate, lane occupancy, and a
@@ -92,7 +96,9 @@ int main(int argc, char** argv) {
 
   exec::SweepSpec spec = exec::SweepSpec::figure4(klass);
   spec.kernels = bench::kernels_from(opts);
-  spec.trace_backed = !opts.get_flag("no-trace");
+  const exec::Strategy strategy =
+      exec::resolve_strategy(bench::strategy_from(opts));
+  spec.trace_backed = strategy != exec::Strategy::Live;
 
   if (opts.get_flag("replay-check")) {
     const std::size_t bytes =
@@ -101,16 +107,10 @@ int main(int argc, char** argv) {
   }
 
   exec::ExperimentEngine engine = bench::make_engine(opts);
-  const bool multilane = !opts.get_flag("no-multilane");
-  const bool analytic = !opts.get_flag("no-analytic");
   std::cout << "sweep_all: " << spec.expand().size()
             << " runs over the Figure 4 grid (class " << npb::klass_name(klass)
-            << "), " << engine.workers() << " workers, "
-            << (!spec.trace_backed
-                    ? "traces off"
-                    : (multilane ? "multi-lane groups" : "trace store"))
-            << (spec.trace_backed && analytic ? " + analytic replay" : "")
-            << "\n";
+            << "), " << engine.workers() << " workers, strategy "
+            << exec::strategy_name(strategy) << "\n";
 
   const exec::SweepResult cold = engine.run(spec);
   bench::require_all_verified(cold);
@@ -247,15 +247,30 @@ int main(int argc, char** argv) {
                   static_cast<double>(cold.records.size());
     exec::JsonWriter b;
     b.begin_object();
-    b.field("schema", "lpomp-bench-sweep-v2");
+    b.field("schema", "lpomp-bench-sweep-v3");
     b.field("klass", std::string(npb::klass_name(klass)));
     b.field("workers", static_cast<std::uint64_t>(cold.workers));
-    b.field("multilane", multilane && spec.trace_backed);
-    b.field("analytic", analytic && spec.trace_backed);
+    b.field("strategy", exec::strategy_name(strategy));
     b.field("runs", static_cast<std::uint64_t>(cold.records.size()));
     b.field("cold_wall_ms", cold.wall_ms);
     b.field("warm_wall_ms", warm.wall_ms);
     b.field("warm_cache_hit_rate", warm_hit_rate);
+    // Persistent-store telemetry (all zero when --store-dir= is not given)
+    // plus the admission-queue peak, which only the sweep daemon's ring can
+    // populate — sweep_all runs unqueued, so it reports 0 and the field
+    // exists for schema parity with the service's documents.
+    b.key("store");
+    b.begin_object();
+    b.field("enabled", engine.disk_store() != nullptr);
+    b.field("hits", cold.store.hits + warm.store.hits);
+    b.field("misses", cold.store.misses + warm.store.misses);
+    b.field("insertions", cold.store.insertions + warm.store.insertions);
+    b.field("quarantined", cold.store.quarantined + warm.store.quarantined);
+    b.field("bytes_read", cold.store.bytes_read + warm.store.bytes_read);
+    b.field("bytes_written",
+            cold.store.bytes_written + warm.store.bytes_written);
+    b.end_object();
+    b.field("admission_queue_depth_peak", std::uint64_t{0});
     b.key("lane_stats");
     b.begin_object();
     b.field("fused_groups", static_cast<std::uint64_t>(cold.fused_groups));
@@ -309,6 +324,7 @@ int main(int argc, char** argv) {
       b.field("wall_ms", r.wall_ms);
       b.field("source", r.trace_source);
       b.field("cache_hit", r.cache_hit);
+      b.field("store_hit", r.store_hit);
       b.end_object();
     }
     b.end_array();

@@ -4,7 +4,8 @@
 //   trace_tools record    --kernel=CG --klass=S --threads=4 --pages=2MB
 //                         --out=cg.lptrace [--platform=opteron] [--seed=N]
 //   trace_tools replay    --in=cg.lptrace [--platform=xeon] [--seed=N]
-//                         [--code-pages=4KB] [--check] [--no-analytic]
+//                         [--code-pages=4KB] [--check]
+//                         [--strategy=analytic|recorded]
 //   trace_tools multilane --in=cg.lptrace [--seed=N] [--check]
 //   trace_tools bench     --in=cg.lptrace [--repeat=10] [--json-out=FILE]
 //   trace_tools stats     --in=cg.lptrace
@@ -12,7 +13,8 @@
 // `record` runs the kernel live with the recorder attached and writes the
 // compressed trace. `replay` re-drives the simulator from the file — by
 // default from a compiled TracePlan with the analytic fast-forward tier,
-// interpreted with --no-analytic — and prints the profile; with --check it
+// interpreted with --strategy=recorded (--no-analytic remains an alias) —
+// and prints the profile; with --check it
 // also runs the same config live and verifies every counter matches
 // bit-for-bit. `multilane` replays the file once onto the whole platform ×
 // code-page grid — every grid point is a lane of one MultiReplayDriver
@@ -117,7 +119,23 @@ int cmd_replay(const Options& opts) {
   cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
   cfg.code_page_kind = pages_from(opts, "code-pages");
-  cfg.analytic = !opts.get_flag("no-analytic");
+  // For a single-file replay the strategy axis collapses to analytic
+  // (compiled plan + fast-forward) vs recorded (interpreted); the shared
+  // parser still handles the deprecated --no-analytic alias.
+  switch (bench::strategy_from(opts)) {
+    case exec::Strategy::Auto:
+    case exec::Strategy::Analytic:
+      cfg.analytic = true;
+      break;
+    case exec::Strategy::Recorded:
+    case exec::Strategy::Multilane:
+      cfg.analytic = false;
+      break;
+    case exec::Strategy::Live:
+      std::cerr << "replay: --strategy=live makes no sense for a trace "
+                   "replay (use --strategy=analytic or recorded)\n";
+      return 2;
+  }
 
   std::cout << "replaying " << trace.key() << " (recorded on "
             << trace.meta.platform << ") on " << cfg.spec.name
@@ -438,7 +456,7 @@ int main(int argc, char** argv) {
                "  record    --kernel=CG --klass=S --threads=4 --pages=4KB|2MB "
                "--out=FILE\n"
                "  replay    --in=FILE [--platform=opteron|xeon] [--check] "
-               "[--no-analytic]\n"
+               "[--strategy=analytic|recorded]\n"
                "  multilane --in=FILE [--seed=N] [--check]\n"
                "  bench     --in=FILE [--repeat=10] [--json-out=FILE]\n"
                "  stats     --in=FILE\n";

@@ -1,701 +1,43 @@
 #include "exec/engine.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <exception>
-#include <functional>
-#include <unordered_map>
-
-#include "exec/json.hpp"
-#include "prof/profile.hpp"
-#include "trace/lane.hpp"
-#include "trace/recorder.hpp"
-#include "trace/replay.hpp"
-#include "trace/trace.hpp"
+#include <cstdio>
 
 namespace lpomp::exec {
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  return std::chrono::duration<double, std::milli>(dt).count();
-}
-
-ResultCache::Stats stats_delta(const ResultCache::Stats& after,
-                               const ResultCache::Stats& before) {
-  ResultCache::Stats d;
-  d.hits = after.hits - before.hits;
-  d.misses = after.misses - before.misses;
-  d.insertions = after.insertions - before.insertions;
-  d.evictions = after.evictions - before.evictions;
-  return d;
-}
-
-/// Fills a record's outcome from any (verified, checksum, seconds, profile)
-/// source — shared by the live, replay and lane paths so all produce
-/// records through the exact same code.
-void fill_outcome(RunRecord& record, bool verified, double checksum,
-                  double simulated_seconds, const prof::ProfileReport& p) {
-  record.ok = true;
-  record.verified = verified;
-  record.checksum = checksum;
-  record.simulated_seconds = simulated_seconds;
-  using prof::ProfileReport;
-  record.cycles = p.count(ProfileReport::kCycles);
-  record.accesses = p.count(ProfileReport::kAccesses);
-  record.l1d_misses = p.count(ProfileReport::kL1dMiss);
-  record.l2_misses = p.count(ProfileReport::kL2Miss);
-  record.dtlb_l1_misses = p.count(ProfileReport::kDtlbL1Miss);
-  record.dtlb_walks_4k = p.count(ProfileReport::kDtlbWalk4k);
-  record.dtlb_walks_2m = p.count(ProfileReport::kDtlbWalk2m);
-  record.itlb_misses = p.count(ProfileReport::kItlbMiss);
-  record.walk_levels = p.count(ProfileReport::kWalkLevels);
-  record.long_stalls = p.count(ProfileReport::kLongStalls);
-}
-
-RunRecord execute_live(const RunTask& task, const sim::SinkHooks& hooks,
-                       RunRecord record) {
-  core::RuntimeConfig cfg;
-  cfg.num_threads = task.threads;
-  cfg.page_kind = task.page_kind;
-  cfg.code_page_kind = task.code_page_kind;
-  cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
-  cfg.trace_hooks = hooks;
-
-  const npb::NpbResult r = npb::run_kernel(task.kernel, task.klass, cfg);
-  fill_outcome(record, r.verified, r.checksum, r.simulated_seconds, r.profile);
-  return record;
-}
-
-trace::ReplayConfig replay_config(const RunTask& task, bool analytic) {
-  trace::ReplayConfig cfg{task.spec, task.cost, task.seed,
-                          task.code_page_kind};
-  cfg.analytic = analytic;
-  return cfg;
-}
-
-/// Compiled plan for the trace under `key`, compiling and caching it on
-/// first use. Shares TraceError semantics with replay: a trace whose plan
-/// does not compile would not replay either.
-std::shared_ptr<const trace::TracePlan> plan_for(trace::TraceStore& store,
-                                                 const std::string& key,
-                                                 const trace::Trace& tr) {
-  std::shared_ptr<const trace::TracePlan> plan = store.plan_lookup(key);
-  if (plan == nullptr) {
-    plan = trace::TracePlan::compile(tr);
-    store.plan_insert(key, plan);
-  }
-  return plan;
-}
-
-std::string task_stream_key(const RunTask& task) {
-  return trace::trace_key(npb::kernel_name(task.kernel),
-                          npb::klass_name(task.klass), task.threads,
-                          task.page_kind);
+Scheduler::Config scheduler_config(const ExperimentEngine::Config& config) {
+  Scheduler::Config out;
+  out.workers = config.workers;
+  out.cache_capacity = config.cache_capacity;
+  out.trace_store_bytes = config.trace_store_bytes;
+  out.strategy = ExperimentEngine::effective_strategy(config);
+  out.store_dir = config.store_dir;
+  return out;
 }
 
 }  // namespace
 
-std::size_t SweepResult::completed() const {
-  std::size_t n = 0;
-  for (const RunRecord& r : records) n += r.ok ? 1 : 0;
-  return n;
-}
+Strategy ExperimentEngine::effective_strategy(const Config& config) {
+  if (config.strategy != Strategy::Auto) return config.strategy;
+  if (config.multilane && config.analytic) return Strategy::Auto;
 
-std::size_t SweepResult::failed() const { return records.size() - completed(); }
-
-std::size_t SweepResult::cache_hits() const {
-  std::size_t n = 0;
-  for (const RunRecord& r : records) n += r.cache_hit ? 1 : 0;
-  return n;
-}
-
-double SweepResult::total_simulated_seconds() const {
-  double s = 0.0;
-  for (const RunRecord& r : records) s += r.simulated_seconds;
-  return s;
-}
-
-const RunRecord* SweepResult::find(const std::string& kernel,
-                                   const std::string& platform,
-                                   unsigned threads,
-                                   const std::string& page_kind) const {
-  for (const RunRecord& r : records) {
-    if (r.kernel == kernel && r.platform == platform && r.threads == threads &&
-        r.page_kind == page_kind) {
-      return &r;
-    }
+  // Legacy bools in a non-default combination: map and warn once per
+  // process. (Only the facade prints — the Scheduler core never does.)
+  const Strategy mapped =
+      config.multilane ? Strategy::Multilane : Strategy::Recorded;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "lpomp: ExperimentEngine::Config::{multilane,analytic} are "
+                 "deprecated; set the equivalent strategy (here: \"%s\") "
+                 "instead\n",
+                 strategy_name(mapped));
   }
-  return nullptr;
-}
-
-std::string SweepResult::summary_json(bool include_host) const {
-  JsonWriter w;
-  w.begin_object();
-  w.field("tasks", static_cast<std::uint64_t>(records.size()));
-  w.field("completed", static_cast<std::uint64_t>(completed()));
-  w.field("failed", static_cast<std::uint64_t>(failed()));
-  w.field("total_simulated_seconds", total_simulated_seconds());
-  if (include_host) {
-    w.field("workers", workers);
-    w.field("wall_ms", wall_ms);
-    w.field("cache_hits", static_cast<std::uint64_t>(cache_hits()));
-    w.field("cache_misses", cache.misses);
-    w.field("cache_hit_rate",
-            records.empty() ? 0.0
-                            : static_cast<double>(cache_hits()) /
-                                  static_cast<double>(records.size()));
-    w.field("cache_evictions", cache.evictions);
-    w.field("fused_groups", static_cast<std::uint64_t>(fused_groups));
-    w.field("fused_lanes", static_cast<std::uint64_t>(fused_lanes));
-    w.field("replay_fallbacks", static_cast<std::uint64_t>(replay_fallbacks));
-  }
-  w.end_object();
-  return w.str();
-}
-
-std::string SweepResult::to_json(bool include_host) const {
-  JsonWriter w;
-  w.begin_object();
-  w.field("schema", "lpomp-sweep-v1");
-  w.key("summary");
-  w.raw(summary_json(include_host));
-  w.key("runs");
-  w.begin_array();
-  for (const RunRecord& r : records) w.raw(r.to_json(include_host));
-  w.end_array();
-  w.end_object();
-  return w.str();
+  return mapped;
 }
 
 ExperimentEngine::ExperimentEngine(Config config)
-    : config_(config),
-      cache_(config.cache_capacity),
-      trace_store_(config.trace_store_bytes),
-      pool_(config.workers) {
-  runner_ = [this](const RunTask& task) {
-    return execute_task(task, task.trace_backed ? &trace_store_ : nullptr,
-                        config_.analytic);
-  };
-}
-
-void ExperimentEngine::set_task_runner(TaskRunner runner) {
-  runner_ = std::move(runner);
-  // A substituted runner owns execution entirely; group fusion would bypass
-  // it for followers, so scheduling reverts to per-task submission.
-  custom_runner_ = true;
-}
-
-SweepResult ExperimentEngine::run(const SweepSpec& spec) {
-  return run(spec.expand());
-}
-
-SweepResult ExperimentEngine::run(const std::vector<RunTask>& tasks) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const ResultCache::Stats before = cache_.stats();
-
-  // Recording has a per-access cost, so it only pays off when the stream is
-  // replayed later. Count how many tasks share each address stream and run
-  // single-use streams plain live (the records are identical either way —
-  // trace backing is pure execution strategy).
-  std::vector<RunTask> planned = tasks;
-  std::unordered_map<std::string, unsigned> stream_uses;
-  for (const RunTask& task : planned) {
-    if (!task.trace_backed) continue;
-    ++stream_uses[trace::trace_key(npb::kernel_name(task.kernel),
-                                   npb::klass_name(task.klass), task.threads,
-                                   task.page_kind)];
-  }
-  for (RunTask& task : planned) {
-    if (!task.trace_backed) continue;
-    if (stream_uses[trace::trace_key(npb::kernel_name(task.kernel),
-                                     npb::klass_name(task.klass),
-                                     task.threads, task.page_kind)] < 2) {
-      task.trace_backed = false;
-    }
-  }
-
-  // Sort tasks into address-stream groups (stable within and across
-  // groups): a stream's recording run leads, its replays follow.
-  std::vector<std::size_t> order(planned.size());
-  std::vector<std::size_t> rank(planned.size());
-  {
-    std::unordered_map<std::string, std::size_t> first_seen;
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      const RunTask& t = planned[i];
-      rank[i] = t.trace_backed
-                    ? first_seen
-                          .try_emplace(trace::trace_key(
-                                           npb::kernel_name(t.kernel),
-                                           npb::klass_name(t.klass), t.threads,
-                                           t.page_kind),
-                                       i)
-                          .first->second
-                    : i;
-      order[i] = i;
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [&rank](std::size_t a, std::size_t b) {
-                       return rank[a] < rank[b];
-                     });
-  }
-
-  // Release bookkeeping: once the last task sharing a stream completes, its
-  // trace is dropped from the store — together with the leader/follower
-  // submission below, the sweep keeps roughly one stream per worker
-  // resident instead of accumulating the whole grid's traces.
-  std::vector<std::string> stream_key(planned.size());
-  std::unordered_map<std::string, std::atomic<unsigned>> remaining;
-  for (std::size_t i = 0; i < planned.size(); ++i) {
-    if (!planned[i].trace_backed) continue;
-    stream_key[i] = trace::trace_key(npb::kernel_name(planned[i].kernel),
-                                     npb::klass_name(planned[i].klass),
-                                     planned[i].threads, planned[i].page_kind);
-    ++remaining[stream_key[i]];
-  }
-
-  SweepResult result;
-  result.workers = pool_.workers();
-  result.records.resize(planned.size());
-  FusedStats fused;
-  // Each task writes its own pre-assigned slot, so the result order is the
-  // task order no matter how the pool schedules.
-  std::function<void(std::size_t)> submit_task =
-      [this, &result, &planned, &stream_key, &remaining](std::size_t i) {
-        RunRecord* slot = &result.records[i];
-        const RunTask* task = &planned[i];
-        const std::string* key =
-            stream_key[i].empty() ? nullptr : &stream_key[i];
-        std::atomic<unsigned>* uses_left =
-            key == nullptr ? nullptr : &remaining.find(*key)->second;
-        pool_.submit([this, slot, task, key, uses_left] {
-          *slot = run_one(*task);
-          if (uses_left != nullptr && uses_left->fetch_sub(1) == 1) {
-            trace_store_.erase(*key);
-          }
-        });
-      };
-
-  // Group submission. With the default runner, a whole stream group becomes
-  // ONE fused multi-lane job: its leader runs live while every follower's
-  // simulator state tracks the same event stream as a lane (run_fused_group
-  // below) — no encode, no decode, one pool slot per group, groups still
-  // running in parallel across workers. With a custom runner (tests inject
-  // failures / count executions) or multilane off, the store-based schedule
-  // is kept: the leader (recording run) is submitted alone and the
-  // followers enter the pool only once the leader has finished and the
-  // trace is in the store — submitting whole groups up front would let a
-  // multi-worker pool run a pair concurrently, recording the stream twice
-  // instead of replaying it. All locals captured here outlive the tasks:
-  // run() blocks in wait_idle() until every dynamically submitted follower
-  // has finished too.
-  const bool fuse_groups = config_.multilane && !custom_runner_;
-  for (std::size_t g = 0; g < order.size();) {
-    std::size_t end = g + 1;
-    while (end < order.size() && rank[order[end]] == rank[order[g]]) ++end;
-    const std::size_t lead = order[g];
-    if (end - g == 1 || !planned[lead].trace_backed) {
-      for (std::size_t j = g; j < end; ++j) submit_task(order[j]);
-    } else if (fuse_groups) {
-      std::vector<std::size_t> group(
-          order.begin() + static_cast<std::ptrdiff_t>(g),
-          order.begin() + static_cast<std::ptrdiff_t>(end));
-      const std::string* key = &stream_key[lead];
-      std::atomic<unsigned>* uses_left = &remaining.find(*key)->second;
-      pool_.submit([this, group = std::move(group), &planned, &result, key,
-                    uses_left, &fused] {
-        run_fused_group(group, planned, result.records, *key, *uses_left,
-                        fused);
-      });
-    } else {
-      std::vector<std::size_t> followers(order.begin() +
-                                             static_cast<std::ptrdiff_t>(g) + 1,
-                                         order.begin() +
-                                             static_cast<std::ptrdiff_t>(end));
-      RunRecord* slot = &result.records[lead];
-      const RunTask* task = &planned[lead];
-      std::atomic<unsigned>* uses_left = &remaining.find(stream_key[lead])->second;
-      const std::string* key = &stream_key[lead];
-      pool_.submit([this, slot, task, key, uses_left, &submit_task,
-                    followers = std::move(followers)] {
-        *slot = run_one(*task);
-        if (uses_left->fetch_sub(1) == 1) trace_store_.erase(*key);
-        for (const std::size_t j : followers) submit_task(j);
-      });
-    }
-    g = end;
-  }
-  pool_.wait_idle();
-
-  result.wall_ms = ms_since(t0);
-  result.cache = stats_delta(cache_.stats(), before);
-  result.fused_groups = fused.groups.load();
-  result.fused_lanes = fused.lanes.load();
-  result.replay_fallbacks = fused.fallbacks.load();
-  return result;
-}
-
-void ExperimentEngine::run_fused_group(const std::vector<std::size_t>& group,
-                                       const std::vector<RunTask>& planned,
-                                       std::vector<RunRecord>& records,
-                                       const std::string& key,
-                                       std::atomic<unsigned>& uses_left,
-                                       FusedStats& fused) {
-  // The whole group's stream uses complete together; release the trace (if
-  // any) once at the end.
-  struct Release {
-    trace::TraceStore& store;
-    const std::string& key;
-    std::atomic<unsigned>& uses_left;
-    unsigned count;
-    ~Release() {
-      if (uses_left.fetch_sub(count) == count) store.erase(key);
-    }
-  } release{trace_store_, key, uses_left,
-            static_cast<unsigned>(group.size())};
-
-  // Cached grid points are served immediately; only the rest need lanes.
-  std::vector<std::size_t> todo;
-  for (const std::size_t i : group) {
-    const auto t0 = std::chrono::steady_clock::now();
-    if (std::optional<RunRecord> hit = cache_.lookup(cache_key(planned[i]))) {
-      hit->cache_hit = true;
-      hit->wall_ms = ms_since(t0);
-      records[i] = *hit;
-    } else {
-      todo.push_back(i);
-    }
-  }
-
-  // Solo fallback: a plain live run, trace backing off (nobody left to
-  // share the stream with inside a fused group).
-  auto run_solo = [this, &planned, &records](std::size_t i) {
-    RunTask solo = planned[i];
-    solo.trace_backed = false;
-    records[i] = run_one(solo);
-  };
-
-  if (todo.size() <= 1) {
-    for (const std::size_t i : todo) run_solo(i);
-    return;
-  }
-
-  // A stream already in the store (cross-sweep reuse, preloaded traces):
-  // one decode pass serves every remaining point as a lane. A trace the
-  // replay rejects is dropped and the group falls through to the live
-  // leader below — fallback, not failure.
-  if (std::shared_ptr<const trace::Trace> tr = trace_store_.lookup(key)) {
-    std::vector<std::size_t> lanes_idx;
-    std::vector<std::size_t> solos;
-    for (const std::size_t i : todo) {
-      (planned[i].threads <= planned[i].spec.total_contexts() ? lanes_idx
-                                                              : solos)
-          .push_back(i);
-    }
-    if (!lanes_idx.empty()) {
-      std::vector<trace::ReplayConfig> cfgs;
-      cfgs.reserve(lanes_idx.size());
-      for (const std::size_t i : lanes_idx) {
-        cfgs.push_back(replay_config(planned[i], config_.analytic));
-      }
-      const auto t0 = std::chrono::steady_clock::now();
-      bool replayed = false;
-      try {
-        const std::vector<trace::ReplayOutcome> outs =
-            config_.analytic
-                ? trace::MultiReplayDriver(std::move(cfgs))
-                      .run(*tr, *plan_for(trace_store_, key, *tr))
-                : trace::MultiReplayDriver(std::move(cfgs)).run(*tr);
-        const double per_lane = ms_since(t0) /
-                                static_cast<double>(lanes_idx.size());
-        for (std::size_t k = 0; k < lanes_idx.size(); ++k) {
-          const std::size_t i = lanes_idx[k];
-          RunRecord record = base_record(planned[i]);
-          fill_outcome(record, outs[k].verified, outs[k].checksum,
-                       outs[k].simulated_seconds, outs[k].profile);
-          record.trace_source = config_.analytic ? "analytic" : "replay";
-          record.cache_hit = false;
-          record.wall_ms = per_lane;
-          cache_.insert(cache_key(planned[i]), record);
-          records[i] = record;
-        }
-        fused.groups.fetch_add(1);
-        fused.lanes.fetch_add(lanes_idx.size());
-        replayed = true;
-      } catch (const trace::TraceError&) {
-        trace_store_.erase(key);
-        fused.fallbacks.fetch_add(1);
-      }
-      if (replayed) {
-        for (const std::size_t i : solos) run_solo(i);
-        return;
-      }
-    } else {
-      for (const std::size_t i : solos) run_solo(i);
-      return;
-    }
-  }
-
-  const std::size_t lead = todo.front();
-  const RunTask& lead_task = planned[lead];
-
-  if (config_.analytic) {
-    // Analytic fan-out: the leader runs the kernel for real while recording
-    // its stream; the stream is compiled into a TracePlan once and every
-    // follower replays the plan with the analytic fast-forward tier — one
-    // live run, one compile, N closed-form replays.
-    trace::TraceRecorder recorder(lead_task.threads);
-    const auto t0 = std::chrono::steady_clock::now();
-    RunRecord lead_record = base_record(lead_task);
-    bool lead_ok = true;
-    try {
-      lead_record = execute_live(lead_task, sim::bind_sink(&recorder),
-                                 std::move(lead_record));
-      lead_record.trace_source = "record";
-    } catch (const std::exception& e) {
-      lead_record.ok = false;
-      lead_record.error = e.what();
-      lead_ok = false;
-    } catch (...) {
-      lead_record.ok = false;
-      lead_record.error = "unknown exception";
-      lead_ok = false;
-    }
-    lead_record.cache_hit = false;
-    lead_record.wall_ms = ms_since(t0);
-    if (lead_record.ok) cache_.insert(cache_key(lead_task), lead_record);
-    records[lead] = lead_record;
-
-    std::vector<std::size_t> solos;
-    if (lead_ok) {
-      trace::TraceMeta meta;
-      meta.kernel = npb::kernel_name(lead_task.kernel);
-      meta.klass = npb::klass_name(lead_task.klass);
-      meta.threads = lead_task.threads;
-      meta.page_kind = lead_task.page_kind;
-      meta.platform = lead_task.spec.name;
-      meta.code_page_kind = lead_task.code_page_kind;
-      meta.seed = lead_task.seed;
-      meta.verified = lead_record.verified;
-      meta.checksum = lead_record.checksum;
-      const std::shared_ptr<const trace::Trace> tr =
-          trace_store_.insert(key, recorder.finish(std::move(meta)));
-
-      std::vector<std::size_t> lane_idx;
-      std::vector<trace::ReplayConfig> cfgs;
-      for (std::size_t j = 1; j < todo.size(); ++j) {
-        const std::size_t i = todo[j];
-        if (planned[i].threads <= planned[i].spec.total_contexts()) {
-          lane_idx.push_back(i);
-          cfgs.push_back(replay_config(planned[i], true));
-        } else {
-          solos.push_back(i);
-        }
-      }
-      bool replayed = false;
-      if (!lane_idx.empty()) {
-        const auto t1 = std::chrono::steady_clock::now();
-        try {
-          const std::vector<trace::ReplayOutcome> outs =
-              trace::MultiReplayDriver(std::move(cfgs))
-                  .run(*tr, *plan_for(trace_store_, key, *tr));
-          const double per_lane =
-              ms_since(t1) / static_cast<double>(lane_idx.size());
-          for (std::size_t k = 0; k < lane_idx.size(); ++k) {
-            const std::size_t i = lane_idx[k];
-            RunRecord record = base_record(planned[i]);
-            fill_outcome(record, outs[k].verified, outs[k].checksum,
-                         outs[k].simulated_seconds, outs[k].profile);
-            record.trace_source = "analytic";
-            record.cache_hit = false;
-            record.wall_ms = per_lane;
-            cache_.insert(cache_key(planned[i]), record);
-            records[i] = record;
-          }
-          fused.groups.fetch_add(1);
-          fused.lanes.fetch_add(lane_idx.size());
-          replayed = true;
-        } catch (const trace::TraceError&) {
-          // A freshly recorded stream its own plan rejects — should not
-          // happen, but the fallback ladder is the same as everywhere:
-          // followers re-run solo, nothing aborts.
-          trace_store_.erase(key);
-          fused.fallbacks.fetch_add(1);
-        }
-        if (!replayed) {
-          solos.insert(solos.end(), lane_idx.begin(), lane_idx.end());
-        }
-      }
-    } else {
-      // Leader failed before completing the stream; every follower gets its
-      // own untainted run.
-      solos.assign(todo.begin() + 1, todo.end());
-    }
-    for (const std::size_t i : solos) run_solo(i);
-    return;
-  }
-
-  // Live leader + lane fan-out (--no-analytic): the first uncached point
-  // runs the kernel for real; every other point's simulator state tracks
-  // the leader's event stream as a lane, fed directly through the sink
-  // hooks.
-  std::vector<std::size_t> solos;
-  std::vector<std::size_t> lane_idx;
-
-  trace::ReplaySubstrate substrate(lead_task.kernel, lead_task.klass,
-                                   lead_task.page_kind);
-  trace::LaneSet lanes(substrate, lead_task.threads);
-  for (std::size_t j = 1; j < todo.size(); ++j) {
-    const std::size_t i = todo[j];
-    try {
-      lanes.add_lane(replay_config(planned[i], false));
-      lane_idx.push_back(i);
-    } catch (const trace::TraceError&) {
-      solos.push_back(i);  // does not fit this platform — runs (and fails
-                           // with its own diagnostics) on its own
-    }
-  }
-  trace::LaneFanout fanout(lanes);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  RunRecord lead_record = base_record(lead_task);
-  bool lead_ok = true;
-  try {
-    lead_record = execute_live(
-        lead_task, lane_idx.empty() ? sim::SinkHooks{} : fanout.hooks(),
-        std::move(lead_record));
-  } catch (const std::exception& e) {
-    lead_record.ok = false;
-    lead_record.error = e.what();
-    lead_ok = false;
-  } catch (...) {
-    lead_record.ok = false;
-    lead_record.error = "unknown exception";
-    lead_ok = false;
-  }
-  lead_record.cache_hit = false;
-  lead_record.wall_ms = ms_since(t0);
-  if (lead_record.ok) cache_.insert(cache_key(lead_task), lead_record);
-  records[lead] = lead_record;
-
-  if (lead_ok && !lane_idx.empty()) {
-    const auto t1 = std::chrono::steady_clock::now();
-    const std::string label = npb::kernel_name(lead_task.kernel) +
-                              std::string(".") +
-                              npb::klass_name(lead_task.klass);
-    for (std::size_t k = 0; k < lane_idx.size(); ++k) {
-      const std::size_t i = lane_idx[k];
-      const trace::ReplayOutcome out = lanes.outcome(
-          k, label, lead_record.verified, lead_record.checksum);
-      RunRecord record = base_record(planned[i]);
-      fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
-                   out.profile);
-      record.trace_source = "lane";
-      record.cache_hit = false;
-      record.wall_ms = ms_since(t1) / static_cast<double>(lane_idx.size());
-      cache_.insert(cache_key(planned[i]), record);
-      records[i] = record;
-    }
-    fused.groups.fetch_add(1);
-    fused.lanes.fetch_add(lane_idx.size());
-  } else if (!lead_ok) {
-    // The lanes saw a partial stream; discard them and isolate the failure
-    // to the leader — every follower gets its own untainted run.
-    solos.insert(solos.end(), lane_idx.begin(), lane_idx.end());
-  }
-  for (const std::size_t i : solos) run_solo(i);
-}
-
-RunRecord ExperimentEngine::run_one(const RunTask& task) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::string key = cache_key(task);
-  if (std::optional<RunRecord> hit = cache_.lookup(key)) {
-    hit->cache_hit = true;
-    hit->wall_ms = ms_since(t0);
-    return *hit;
-  }
-  RunRecord record;
-  try {
-    record = runner_(task);
-  } catch (const std::exception& e) {
-    record = base_record(task);
-    record.ok = false;
-    record.error = e.what();
-  } catch (...) {
-    record = base_record(task);
-    record.ok = false;
-    record.error = "unknown exception";
-  }
-  record.cache_hit = false;
-  record.wall_ms = ms_since(t0);
-  if (record.ok) cache_.insert(key, record);
-  return record;
-}
-
-RunRecord ExperimentEngine::base_record(const RunTask& task) {
-  RunRecord record;
-  record.kernel = npb::kernel_name(task.kernel);
-  record.klass = npb::klass_name(task.klass);
-  record.platform = task.spec.name;
-  record.threads = task.threads;
-  record.page_kind = page_kind_name(task.page_kind);
-  record.code_page_kind = page_kind_name(task.code_page_kind);
-  record.seed = task.seed;
-  record.key_digest = digest_hex(cache_key(task));
-  return record;
-}
-
-RunRecord ExperimentEngine::execute_task(const RunTask& task) {
-  return execute_live(task, sim::SinkHooks{}, base_record(task));
-}
-
-RunRecord ExperimentEngine::execute_task(const RunTask& task,
-                                         trace::TraceStore* store,
-                                         bool analytic) {
-  if (store == nullptr || !task.trace_backed) return execute_task(task);
-
-  const std::string key = task_stream_key(task);
-  if (std::shared_ptr<const trace::Trace> tr = store->lookup(key)) {
-    try {
-      trace::ReplayDriver driver(replay_config(task, analytic));
-      const trace::ReplayOutcome out =
-          analytic ? driver.run(*tr, *plan_for(*store, key, *tr))
-                   : driver.run(*tr);
-      RunRecord record = base_record(task);
-      fill_outcome(record, out.verified, out.checksum, out.simulated_seconds,
-                   out.profile);
-      record.trace_source = analytic ? "analytic" : "replay";
-      return record;
-    } catch (const trace::TraceError&) {
-      // Corrupt or inconsistent stored trace: drop it and serve the task
-      // live — the store is an accelerator, never a correctness dependency.
-      store->erase(key);
-      RunRecord record =
-          execute_live(task, sim::SinkHooks{}, base_record(task));
-      record.trace_source = "fallback";
-      return record;
-    }
-  }
-
-  // TraceRecorder is final, so the bound hooks dispatch straight into the
-  // encoder — no vtable on the recording hot path.
-  trace::TraceRecorder recorder(task.threads);
-  RunRecord record =
-      execute_live(task, sim::bind_sink(&recorder), base_record(task));
-  trace::TraceMeta meta;
-  meta.kernel = npb::kernel_name(task.kernel);
-  meta.klass = npb::klass_name(task.klass);
-  meta.threads = task.threads;
-  meta.page_kind = task.page_kind;
-  meta.platform = task.spec.name;
-  meta.code_page_kind = task.code_page_kind;
-  meta.seed = task.seed;
-  meta.verified = record.verified;
-  meta.checksum = record.checksum;
-  store->insert(key, recorder.finish(std::move(meta)));
-  record.trace_source = "record";
-  return record;
-}
+    : scheduler_(scheduler_config(config)) {}
 
 }  // namespace lpomp::exec

@@ -1,68 +1,30 @@
-// ExperimentEngine — parallel execution of experiment sweeps.
+// ExperimentEngine — the historical front door to sweep execution, now a
+// thin facade over the library-grade exec::Scheduler (scheduler.hpp).
 //
-// Takes a declarative SweepSpec (or an explicit task list), expands it into
-// independent RunTasks, and executes them on a work-stealing pool sized to
-// the host. Each task constructs its own Runtime/AddressSpace/Machine
-// inside npb::run_kernel, so results are bit-identical to a serial loop
-// regardless of worker count or scheduling order — the determinism the
-// paper reproduction depends on, preserved while filling every host core.
+// Everything substantive — task expansion, the work-stealing pool, the
+// layered result cache (in-memory LRU over an optional disk-persistent
+// store), stream-group fusion, failure isolation — lives in the Scheduler.
+// This class exists so the accumulated call sites (benches, figure
+// harnesses, tests) keep compiling unchanged: same constructor surface,
+// same run(SweepSpec) → SweepResult contract.
 //
-// Around execution sit two layers:
-//   * a content-keyed ResultCache (canonical config serialisation →
-//     RunRecord), so repeated or overlapping sweeps skip completed runs;
-//   * structured observability: every run yields a JSON RunRecord and a
-//     sweep yields a JSON summary (config echo, simulated cycles, walk
-//     counts per PageKind, wall time, cache provenance).
+// Config migration: the accreted `multilane` / `analytic` bools are
+// deprecated in favour of the single `strategy` axis (strategy.hpp).
+// They still work — a non-default combination maps onto the equivalent
+// Strategy (and warns once, on stderr) — but new code should set
+// `strategy` directly:
 //
-// Failure isolation: a task that throws is recorded (ok=false, error=what)
-// without poisoning the sweep — all other tasks still run and the sweep
-// returns normally.
+//   multilane   analytic    →  Strategy
+//   true        true           Auto      (the old default; resolves Analytic)
+//   false       any            Recorded  (store-based record/replay schedule)
+//   true        false          Multilane (fused lanes off a live leader)
+//
+// When `strategy` is anything but Auto it wins and the bools are ignored.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "exec/fingerprint.hpp"
-#include "exec/record.hpp"
-#include "exec/result_cache.hpp"
-#include "exec/sweep.hpp"
-#include "exec/thread_pool.hpp"
-#include "trace/store.hpp"
+#include "exec/scheduler.hpp"
 
 namespace lpomp::exec {
-
-/// Result of one engine sweep: records in task order plus aggregates.
-struct SweepResult {
-  std::vector<RunRecord> records;  ///< task order, independent of scheduling
-  unsigned workers = 0;
-  double wall_ms = 0.0;
-  ResultCache::Stats cache;  ///< cache activity of THIS sweep only
-
-  // Multi-lane execution provenance (host-side; results are identical with
-  // or without fusion).
-  std::size_t fused_groups = 0;     ///< stream groups served multi-lane
-  std::size_t fused_lanes = 0;      ///< follower grid points covered as lanes
-  std::size_t replay_fallbacks = 0; ///< stored traces rejected → re-run live
-
-  std::size_t completed() const;  ///< records with ok
-  std::size_t failed() const;
-  std::size_t cache_hits() const;
-  double total_simulated_seconds() const;
-
-  /// Record for a (kernel, platform, threads, page kind) grid point, or
-  /// nullptr — the lookup the figure harnesses print their tables from.
-  const RunRecord* find(const std::string& kernel, const std::string& platform,
-                        unsigned threads, const std::string& page_kind) const;
-
-  /// {"schema":...,"summary":{...},"runs":[...]}. With include_host=false
-  /// only deterministic fields are emitted (golden files, worker-count
-  /// equivalence diffs).
-  std::string to_json(bool include_host = true) const;
-  std::string summary_json(bool include_host = true) const;
-};
 
 class ExperimentEngine {
  public:
@@ -71,90 +33,60 @@ class ExperimentEngine {
     std::size_t cache_capacity = 4096;
     /// Byte budget of the trace store backing trace_backed tasks.
     std::size_t trace_store_bytes = MiB(512);
-    /// Serve each address-stream group as one multi-lane task (leader runs
-    /// live, every follower is a lane tracking its event stream — no codec
-    /// round trip). Off → the leader records into the trace store and each
-    /// follower replays from it individually. Results are bit-identical
-    /// either way; this is purely an execution strategy (the --no-multilane
-    /// escape hatch in the benches flips it).
+    /// DEPRECATED — set `strategy` instead (see the mapping table above).
+    /// Serve each address-stream group as one multi-lane task. Results are
+    /// bit-identical either way; purely an execution strategy.
     bool multilane = true;
+    /// DEPRECATED — set `strategy` instead (see the mapping table above).
     /// Serve trace-backed replays from a compiled TracePlan with the
-    /// analytic fast-forward tier (closed-form counter updates for pattern
-    /// blocks whose footprint is provably warm — sim/block_summary.hpp).
-    /// With multilane on, a fused group's leader additionally records its
-    /// stream and every follower replays the compiled plan instead of
-    /// tracking live events lane-by-lane. Results are bit-identical either
-    /// way — again pure execution strategy; --no-analytic flips it.
+    /// analytic fast-forward tier.
     bool analytic = true;
+    /// How trace-backed tasks execute; overrides the two bools above
+    /// whenever it is not Auto. Results are bit-identical under every
+    /// choice.
+    Strategy strategy = Strategy::Auto;
+    /// Root directory of the disk-persistent result store; empty → no disk
+    /// tier (in-memory LRU only, the historical behaviour).
+    std::string store_dir = {};
   };
 
-  /// Maps a task to its record; the default runs npb::run_kernel. Tests
-  /// substitute runners to inject failures or count executions. May throw:
-  /// the engine converts exceptions into ok=false records.
-  using TaskRunner = std::function<RunRecord(const RunTask&)>;
+  using TaskRunner = Scheduler::TaskRunner;
 
   ExperimentEngine() : ExperimentEngine(Config{}) {}
   explicit ExperimentEngine(Config config);
 
-  unsigned workers() const { return pool_.workers(); }
-  ResultCache& cache() { return cache_; }
-  trace::TraceStore& trace_store() { return trace_store_; }
-  void set_task_runner(TaskRunner runner);
+  unsigned workers() const { return scheduler_.workers(); }
+  ResultCache& cache() { return scheduler_.cache(); }
+  trace::TraceStore& trace_store() { return scheduler_.trace_store(); }
+  DiskResultStore* disk_store() { return scheduler_.disk_store(); }
+  Scheduler& scheduler() { return scheduler_; }
+  void set_task_runner(TaskRunner runner) {
+    scheduler_.set_task_runner(std::move(runner));
+  }
 
-  SweepResult run(const SweepSpec& spec);
-  SweepResult run(const std::vector<RunTask>& tasks);
+  SweepResult run(const SweepSpec& spec) { return scheduler_.run(spec); }
+  SweepResult run(const std::vector<RunTask>& tasks) {
+    return scheduler_.run(tasks);
+  }
 
-  /// The default runner: one full simulated kernel run. Aborting on
-  /// verification failure is the caller's policy; the record carries
-  /// `verified` either way.
-  static RunRecord execute_task(const RunTask& task);
-
-  /// Trace-backed execution: when `store` is non-null and the task opts in,
-  /// the task's address stream is replayed from the store if a recording
-  /// exists — through the store's compiled TracePlan with the analytic
-  /// fast-forward tier when `analytic` (trace_source="analytic", compiling
-  /// and caching the plan on first use), interpreted otherwise
-  /// (trace_source="replay"). With no recording the live run records the
-  /// stream for later tasks (trace_source="record"). Results are
-  /// bit-identical to execute_task(task) in every mode. A stored trace the
-  /// plan compile or replay rejects (corrupt bytes, inconsistent stream) is
-  /// erased and the task re-runs live (trace_source="fallback") —
-  /// recoverable, never an abort.
+  static RunRecord execute_task(const RunTask& task) {
+    return Scheduler::execute_task(task);
+  }
   static RunRecord execute_task(const RunTask& task, trace::TraceStore* store,
-                                bool analytic = true);
+                                bool analytic = true) {
+    return Scheduler::execute_task(task, store, analytic);
+  }
+  static RunRecord base_record(const RunTask& task) {
+    return Scheduler::base_record(task);
+  }
 
-  /// Config-echo fields + content-key digest, no run outcome (the skeleton
-  /// both execute_task and the failure path start from).
-  static RunRecord base_record(const RunTask& task);
+  /// The Strategy an engine Config denotes — the deprecation mapping in the
+  /// header comment, in code. Exposed so front ends translating legacy
+  /// flags agree with the engine byte-for-byte.
+  static Strategy effective_strategy(const Config& config);
 
  private:
-  /// Shared counters the fused-group jobs report into during one sweep.
-  struct FusedStats {
-    std::atomic<std::size_t> groups{0};
-    std::atomic<std::size_t> lanes{0};
-    std::atomic<std::size_t> fallbacks{0};
-  };
-
-  RunRecord run_one(const RunTask& task);
-
-  /// Executes one address-stream group as a single fused job: cached points
-  /// are served first; if the store already holds the stream, the rest run
-  /// as lanes of one MultiReplayDriver pass; otherwise the first uncached
-  /// point runs live with a LaneFanout feeding the others as lanes. Any
-  /// point the group strategy cannot serve (lane rejected, leader failed,
-  /// trace rejected with no leader to piggyback on) falls back to a solo
-  /// live run — failure isolation is per grid point, exactly as unfused.
-  void run_fused_group(const std::vector<std::size_t>& group,
-                       const std::vector<RunTask>& planned,
-                       std::vector<RunRecord>& records, const std::string& key,
-                       std::atomic<unsigned>& uses_left, FusedStats& fused);
-
-  Config config_;
-  TaskRunner runner_;
-  bool custom_runner_ = false;
-  ResultCache cache_;
-  trace::TraceStore trace_store_;
-  WorkStealingPool pool_;
+  Scheduler scheduler_;
 };
 
 }  // namespace lpomp::exec

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace lpomp::exec {
 
@@ -62,5 +65,47 @@ class JsonWriter {
   std::string out_;
   bool need_comma_ = false;
 };
+
+/// Malformed input to json_parse (or a type mismatch on a JsonValue
+/// accessor). The disk store treats it as corruption → quarantine.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal parsed JSON value. The repo writes JSON far more than it reads
+/// it; parsing exists for the disk-persistent result store (checksummed
+/// RunRecord files) and the sweep-service client, which both read only
+/// documents this repo itself wrote — so the parser is strict and small
+/// rather than lenient.
+///
+/// Numbers keep their source text: counters are uint64 (exact via
+/// as_uint64) and doubles were written with round-trip-exact %.17g (exact
+/// via as_double) — routing either through a single double field would
+/// corrupt counters above 2^53.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string text;  ///< string payload, or the number's source text
+  std::vector<JsonValue> items;                           ///< Array
+  std::vector<std::pair<std::string, JsonValue>> members; ///< Object, in order
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member by key; throws JsonError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  // Checked accessors — throw JsonError on kind mismatch or range error.
+  bool as_bool() const;
+  std::uint64_t as_uint64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything else
+/// after the value is an error). Throws JsonError on malformed input.
+JsonValue json_parse(const std::string& text);
 
 }  // namespace lpomp::exec

@@ -49,11 +49,51 @@ std::string RunRecord::to_json(bool include_host) const {
   w.end_object();
   if (include_host) {
     w.field("cache_hit", cache_hit);
+    w.field("store_hit", store_hit);
     w.field("wall_ms", wall_ms);
     w.field("trace_source", trace_source);
   }
   w.end_object();
   return w.str();
+}
+
+RunRecord RunRecord::from_json(const std::string& json) {
+  return record_from_json_value(json_parse(json));
+}
+
+RunRecord record_from_json_value(const JsonValue& doc) {
+  RunRecord r;
+  r.kernel = doc.at("kernel").as_string();
+  r.klass = doc.at("klass").as_string();
+  r.platform = doc.at("platform").as_string();
+  r.threads = static_cast<unsigned>(doc.at("threads").as_uint64());
+  r.page_kind = doc.at("page_kind").as_string();
+  r.code_page_kind = doc.at("code_page_kind").as_string();
+  r.seed = doc.at("seed").as_uint64();
+  r.key_digest = doc.at("key_digest").as_string();
+  r.ok = doc.at("ok").as_bool();
+  if (const JsonValue* e = doc.find("error")) r.error = e->as_string();
+  r.verified = doc.at("verified").as_bool();
+  r.checksum = doc.at("checksum").as_double();
+  r.simulated_seconds = doc.at("simulated_seconds").as_double();
+  const JsonValue& c = doc.at("counters");
+  r.cycles = c.at("cycles").as_uint64();
+  r.accesses = c.at("accesses").as_uint64();
+  r.l1d_misses = c.at("l1d_misses").as_uint64();
+  r.l2_misses = c.at("l2_misses").as_uint64();
+  r.dtlb_l1_misses = c.at("dtlb_l1_misses").as_uint64();
+  r.dtlb_walks_4k = c.at("dtlb_walks_4k").as_uint64();
+  r.dtlb_walks_2m = c.at("dtlb_walks_2m").as_uint64();
+  r.itlb_misses = c.at("itlb_misses").as_uint64();
+  r.walk_levels = c.at("walk_levels").as_uint64();
+  r.long_stalls = c.at("long_stalls").as_uint64();
+  if (const JsonValue* v = doc.find("cache_hit")) r.cache_hit = v->as_bool();
+  if (const JsonValue* v = doc.find("store_hit")) r.store_hit = v->as_bool();
+  if (const JsonValue* v = doc.find("wall_ms")) r.wall_ms = v->as_double();
+  if (const JsonValue* v = doc.find("trace_source")) {
+    r.trace_source = v->as_string();
+  }
+  return r;
 }
 
 }  // namespace lpomp::exec

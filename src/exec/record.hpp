@@ -47,7 +47,10 @@ struct RunRecord {
   count_t long_stalls = 0;
 
   // --- host-side metadata (non-deterministic; excluded from golden) -------
-  bool cache_hit = false;
+  bool cache_hit = false;  ///< served from the in-memory LRU
+  /// Served from the disk-persistent result store (a warm entry promotes
+  /// into the LRU, so at most one of cache_hit/store_hit is set).
+  bool store_hit = false;
   double wall_ms = 0.0;
   /// How this result was produced: "live" (full kernel run), "record"
   /// (live run that also captured a trace), "replay" (interpreted trace
@@ -64,6 +67,17 @@ struct RunRecord {
 
   /// One JSON object. `include_host` adds the non-deterministic fields.
   std::string to_json(bool include_host = true) const;
+
+  /// Parses a record emitted by to_json() (either fidelity level; absent
+  /// host fields keep their defaults). Throws JsonError on anything
+  /// malformed or missing — the disk store maps that to quarantine.
+  static RunRecord from_json(const std::string& json);
 };
+
+struct JsonValue;  // exec/json.hpp
+
+/// from_json on an already-parsed value (e.g. a member of a larger store
+/// or wire document). Same JsonError contract.
+RunRecord record_from_json_value(const JsonValue& doc);
 
 }  // namespace lpomp::exec

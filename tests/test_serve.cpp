@@ -1,0 +1,308 @@
+// Sweep service: wire-format round trips, shared-memory ring lifecycle,
+// and the full daemon loop in-process — cold submission populates the
+// persistent store, a warm submission answers from cache, and a *restarted*
+// service on the same store directory serves the identical grid from disk.
+// The deterministic response section is byte-compared across all three, the
+// comparison the CI smoke job repeats over real processes.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/json.hpp"
+#include "serve/client.hpp"
+#include "serve/ring.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+using namespace lpomp;
+
+namespace {
+
+struct TempDir {
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "lpomp-serve-XXXXXX")
+            .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Unique-per-process segment names so parallel ctest invocations never
+/// collide on /dev/shm.
+std::string shm_name(const char* tag) {
+  return std::string("/lpomp-test-") + tag + "-" + std::to_string(::getpid());
+}
+
+/// A small request (4 grid points) the in-process tests can run in well
+/// under a second.
+serve::SweepRequest small_request() {
+  serve::SweepRequest request;
+  request.kernels = {npb::Kernel::CG};
+  request.klass = npb::Klass::S;
+  request.platforms = {"opteron"};
+  request.threads = {1, 2};
+  request.page_kinds = {PageKind::small4k, PageKind::large2m};
+  request.base_seed = 0x5eed;
+  return request;
+}
+
+/// Runs `service.serve()` on a thread for the scope of one test block.
+struct ServerThread {
+  explicit ServerThread(serve::SweepService& service)
+      : thread([&service, this] { service.serve(stop); }) {}
+  ~ServerThread() {
+    stop.store(true);
+    thread.join();
+  }
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+/// Member of a parsed "lpomp-serve-v1" response document.
+const exec::JsonValue& response_member(const exec::JsonValue& doc,
+                                       const std::string& name) {
+  EXPECT_EQ(doc.at("schema").as_string(), "lpomp-serve-v1");
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  return doc.at(name);
+}
+
+std::uint64_t summary_counter(const exec::JsonValue& response,
+                              const std::string& field) {
+  return response_member(response, "result")
+      .at("summary")
+      .at(field)
+      .as_uint64();
+}
+
+}  // namespace
+
+// encode ∘ decode is the identity on a request with every field off its
+// default, and re-encoding is byte-stable (the canonical-order property the
+// store and logs rely on).
+TEST(ServeWire, RequestRoundTrip) {
+  serve::SweepRequest request;
+  request.kernels = {npb::Kernel::MG, npb::Kernel::CG};
+  request.klass = npb::Klass::W;
+  request.platforms = {"xeon"};
+  request.threads = {3, 5};
+  request.page_kinds = {PageKind::large2m};
+  request.code_page_kind = PageKind::large2m;
+  request.base_seed = 0xdeadbeef;
+  request.per_task_seeds = true;
+  request.strategy = exec::Strategy::Recorded;
+
+  const std::string text = serve::encode_request(request);
+  const serve::SweepRequest decoded = serve::decode_request(text);
+  EXPECT_EQ(serve::encode_request(decoded), text);
+  EXPECT_EQ(decoded.kernels, request.kernels);
+  EXPECT_EQ(decoded.klass, request.klass);
+  EXPECT_EQ(decoded.platforms, request.platforms);
+  EXPECT_EQ(decoded.threads, request.threads);
+  EXPECT_EQ(decoded.page_kinds, request.page_kinds);
+  EXPECT_EQ(decoded.code_page_kind, request.code_page_kind);
+  EXPECT_EQ(decoded.base_seed, request.base_seed);
+  EXPECT_EQ(decoded.per_task_seeds, request.per_task_seeds);
+  EXPECT_EQ(decoded.strategy, request.strategy);
+
+  // The resolved spec carries the daemon-side platform table.
+  const exec::SweepSpec spec = decoded.to_spec();
+  ASSERT_EQ(spec.platforms.size(), 1u);
+  EXPECT_EQ(spec.platforms[0].name, sim::ProcessorSpec::xeon_ht().name);
+}
+
+TEST(ServeWire, RejectsMalformedRequests) {
+  EXPECT_THROW(serve::decode_request("not a request"), serve::WireError);
+  EXPECT_THROW(serve::decode_request(""), serve::WireError);
+
+  serve::SweepRequest bad_platform = small_request();
+  bad_platform.platforms = {"sparc"};
+  const std::string text = serve::encode_request(bad_platform);
+  // Unknown platforms are rejected at decode time (fail in the daemon's
+  // doorway, not halfway into a sweep).
+  EXPECT_THROW(serve::decode_request(text), serve::WireError);
+
+  // A tampered strategy value.
+  const std::string good = serve::encode_request(small_request());
+  std::string tampered = good;
+  const std::size_t pos = tampered.find("strategy=");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, std::string::npos, "strategy=warp");
+  EXPECT_THROW(serve::decode_request(tampered), serve::WireError);
+}
+
+TEST(ServeWire, ErrorResponseDocument) {
+  const exec::JsonValue doc =
+      exec::json_parse(serve::encode_error_response("boom \"quoted\""));
+  EXPECT_EQ(doc.at("schema").as_string(), "lpomp-serve-v1");
+  EXPECT_EQ(doc.at("status").as_string(), "error");
+  EXPECT_EQ(doc.at("message").as_string(), "boom \"quoted\"");
+}
+
+// Ring lifecycle: create → open sees the same geometry; opening a segment
+// that does not exist (no daemon) fails with a reasoned error; the owner's
+// destructor unlinks the segment.
+TEST(ServeRing, CreateOpenUnlink) {
+  const std::string name = shm_name("ring");
+  {
+    serve::ShmRing ring = serve::ShmRing::create(name, 4, 64 * 1024);
+    EXPECT_EQ(ring.slots(), 4u);
+    EXPECT_EQ(ring.slot_bytes(), 64u * 1024u);
+
+    serve::ShmRing opened = serve::ShmRing::open(name);
+    EXPECT_EQ(opened.slots(), 4u);
+    EXPECT_EQ(opened.slot_bytes(), 64u * 1024u);
+  }
+  EXPECT_THROW(serve::ShmRing::open(name), serve::RingError);
+  EXPECT_THROW(serve::ShmRing::open(shm_name("never-created")),
+               serve::RingError);
+}
+
+// The tentpole acceptance path, in-process: cold → store populated; warm →
+// LRU; restart (new service, same store dir) → disk store; all three
+// deterministic sections byte-identical; warm/restart never re-simulate.
+TEST(ServeService, ColdWarmRestartFromStore) {
+  const std::string name = shm_name("svc");
+  TempDir store_dir;
+
+  serve::SweepService::Config cfg;
+  cfg.shm_name = name;
+  cfg.scheduler.workers = 2;
+  cfg.scheduler.store_dir = store_dir.path;
+
+  const serve::SweepRequest request = small_request();
+  std::string cold, warm, restarted;
+
+  {
+    serve::SweepService service(cfg);
+    ServerThread server(service);
+    serve::SweepClient client(name);
+    cold = client.submit(request);
+    warm = client.submit(request);
+  }
+  {
+    serve::SweepService service(cfg);
+    ServerThread server(service);
+    serve::SweepClient client(name);
+    restarted = client.submit(request);
+  }
+
+  const exec::JsonValue cold_doc = exec::json_parse(cold);
+  const exec::JsonValue warm_doc = exec::json_parse(warm);
+  const exec::JsonValue restart_doc = exec::json_parse(restarted);
+
+  // Cold: everything simulated, everything persisted.
+  EXPECT_EQ(summary_counter(cold_doc, "completed"), 4u);
+  EXPECT_EQ(summary_counter(cold_doc, "cache_hits"), 0u);
+  EXPECT_EQ(summary_counter(cold_doc, "store_hits"), 0u);
+  EXPECT_EQ(summary_counter(cold_doc, "store_insertions"), 4u);
+
+  // Warm (same daemon): pure LRU, no disk reads.
+  EXPECT_EQ(summary_counter(warm_doc, "cache_hits"), 4u);
+  EXPECT_EQ(summary_counter(warm_doc, "store_hits"), 0u);
+
+  // Restarted daemon, same store dir: the whole grid comes from disk.
+  EXPECT_EQ(summary_counter(restart_doc, "store_hits"), 4u);
+  EXPECT_EQ(summary_counter(restart_doc, "cache_hits"), 0u);
+  EXPECT_EQ(summary_counter(restart_doc, "store_insertions"), 0u);
+
+  // The result the client actually uses is byte-identical in all cases.
+  auto deterministic = [](const exec::JsonValue& doc) {
+    const exec::JsonValue* d = doc.find("deterministic");
+    EXPECT_NE(d, nullptr);
+    return d;
+  };
+  // Raw-text comparison of the member is what the CI smoke job does with
+  // python; here compare through the parser plus the full member text.
+  const std::size_t cold_det = cold.find("\"deterministic\"");
+  const std::size_t warm_det = warm.find("\"deterministic\"");
+  const std::size_t restart_det = restarted.find("\"deterministic\"");
+  ASSERT_NE(cold_det, std::string::npos);
+  EXPECT_EQ(cold.substr(cold_det), warm.substr(warm_det));
+  EXPECT_EQ(cold.substr(cold_det), restarted.substr(restart_det));
+  (void)deterministic(cold_doc);
+}
+
+// Two clients with interleaved submissions on one daemon: both get correct
+// answers (the second request is served from cache), and the ring's
+// telemetry counts both.
+TEST(ServeService, TwoClientsShareOneDaemon) {
+  const std::string name = shm_name("two");
+
+  serve::SweepService::Config cfg;
+  cfg.shm_name = name;
+  cfg.scheduler.workers = 2;
+
+  serve::SweepService service(cfg);
+  ServerThread server(service);
+
+  const serve::SweepRequest request = small_request();
+  std::string a, b;
+  std::thread ta([&] {
+    serve::SweepClient client(name);
+    a = client.submit(request);
+  });
+  std::thread tb([&] {
+    serve::SweepClient client(name);
+    b = client.submit(request);
+  });
+  ta.join();
+  tb.join();
+
+  const exec::JsonValue doc_a = exec::json_parse(a);
+  const exec::JsonValue doc_b = exec::json_parse(b);
+  EXPECT_EQ(summary_counter(doc_a, "completed"), 4u);
+  EXPECT_EQ(summary_counter(doc_b, "completed"), 4u);
+  const std::size_t det_a = a.find("\"deterministic\"");
+  const std::size_t det_b = b.find("\"deterministic\"");
+  EXPECT_EQ(a.substr(det_a), b.substr(det_b));
+}
+
+// A daemon-side decode failure comes back as a structured error response,
+// which the client surfaces as ClientError("daemon error: ...") — the ring
+// stays healthy for the next request.
+TEST(ServeService, DaemonErrorResponse) {
+  const std::string name = shm_name("err");
+
+  serve::SweepService::Config cfg;
+  cfg.shm_name = name;
+  cfg.scheduler.workers = 2;
+
+  serve::SweepService service(cfg);
+  ServerThread server(service);
+  serve::SweepClient client(name);
+
+  serve::SweepRequest bad = small_request();
+  bad.platforms = {"sparc"};
+  try {
+    client.submit(bad);
+    FAIL() << "expected ClientError";
+  } catch (const serve::ClientError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("daemon error:", 0), 0u)
+        << e.what();
+  }
+
+  // The ring is not poisoned: a good request still round-trips.
+  const std::string ok = client.submit(small_request());
+  EXPECT_EQ(summary_counter(exec::json_parse(ok), "completed"), 4u);
+}
+
+// With no daemon on the segment, the client constructor fails with
+// RingError — fast, reasoned, no hang.
+TEST(ServeService, NoDaemonIsCleanFailure) {
+  EXPECT_THROW(serve::SweepClient client(shm_name("absent")),
+               serve::RingError);
+}

@@ -150,8 +150,8 @@ TEST(TraceReplay, Figure4GridIdentity) {
 // End-to-end through the engine: a trace-backed sweep equals a live sweep
 // record-for-record, under every execution strategy — the default analytic
 // schedule (leader records, followers fast-forward the compiled plan), the
-// live-leader fused multi-lane schedule (--no-analytic), and the store-based
-// record/replay schedule (multilane off).
+// live-leader fused multi-lane schedule (Strategy::Multilane), and the
+// store-based record/replay schedule (Strategy::Recorded).
 TEST(TraceReplay, EngineSweepMatchesLive) {
   exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 4);
   spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
@@ -162,12 +162,12 @@ TEST(TraceReplay, EngineSweepMatchesLive) {
   const exec::SweepResult analytic = analytic_eng.run(spec);
 
   exec::ExperimentEngine::Config lane_cfg;
-  lane_cfg.analytic = false;
+  lane_cfg.strategy = exec::Strategy::Multilane;
   exec::ExperimentEngine fused(lane_cfg);
   const exec::SweepResult multilane = fused.run(spec);
 
   exec::ExperimentEngine::Config store_cfg;
-  store_cfg.multilane = false;
+  store_cfg.strategy = exec::Strategy::Recorded;
   exec::ExperimentEngine store_backed(store_cfg);
   const exec::SweepResult via_store = store_backed.run(spec);
 
