@@ -5,6 +5,7 @@
 // LPOMP_* environment overrides.
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "exec/engine.hpp"
 #include "npb/npb.hpp"
+#include "paging/policy.hpp"
 #include "support/format.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -20,7 +22,45 @@ namespace lpomp::bench {
 
 inline sim::ProcessorSpec platform_by_name(const std::string& name) {
   if (name == "xeon") return sim::ProcessorSpec::xeon_ht();
+  if (name == "modern") return sim::ProcessorSpec::modern();
   return sim::ProcessorSpec::opteron270();
+}
+
+/// Parses --paging= as a comma-separated paging-policy list ("native,
+/// hugetlb2m,huge1g,thp"). Unknown tokens abort with the valid set; an
+/// absent flag yields the single native (identity) policy, preserving
+/// historical behaviour. --thp-seed/--thp-frag/--thp-growth/--thp-interval
+/// override the THP fragmentation model for every thp entry in the list
+/// (all four are part of the result fingerprint).
+inline std::vector<paging::PolicySpec> paging_from(const Options& opts) {
+  const std::string list = opts.get("paging", "native");
+  paging::ThpParams thp;
+  // base 0: --thp-seed accepts decimal or 0x-prefixed hex.
+  thp.frag_seed = std::strtoull(
+      opts.get("thp-seed", std::to_string(thp.frag_seed)).c_str(), nullptr, 0);
+  thp.frag_base = opts.get_double("thp-frag", thp.frag_base);
+  thp.frag_growth = opts.get_double("thp-growth", thp.frag_growth);
+  thp.compaction_interval = static_cast<std::uint32_t>(
+      opts.get_int("thp-interval", thp.compaction_interval));
+  std::vector<paging::PolicySpec> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(start, comma - start);
+    start = comma + 1;
+    paging::Policy p;
+    if (!paging::policy_from_name(token, p)) {
+      std::cerr << "unknown paging policy '" << token << "' in --paging="
+                << list << " (valid: native,base4k,hugetlb2m,huge1g,thp)\n";
+      std::exit(2);
+    }
+    paging::PolicySpec spec;
+    spec.policy = p;
+    if (p == paging::Policy::thp) spec.thp = thp;
+    out.push_back(spec);
+  }
+  return out;
 }
 
 inline npb::Klass klass_by_name(const std::string& name) {

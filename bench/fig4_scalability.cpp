@@ -28,17 +28,67 @@ int main(int argc, char** argv) {
   exec::SweepSpec spec = exec::SweepSpec::figure4(klass);
   spec.kernels = bench::kernels_from(opts);
 
+  // --paging=native,hugetlb2m,huge1g,thp swaps the 4KB/2MB layout columns
+  // for paging-policy columns: the layout axis collapses to 4 KB (every
+  // policy reinterprets the same address stream) and each sub-table shows
+  // run time per policy with improvement vs the first policy listed.
+  const bool paging_axis = !opts.get("paging", "").empty();
+  if (paging_axis) {
+    spec.page_kinds = {PageKind::small4k};
+    spec.paging_policies = bench::paging_from(opts);
+  }
+
   exec::ExperimentEngine engine = bench::make_engine(opts);
   const exec::SweepResult result = engine.run(spec);
   bench::require_all_verified(result);
 
-  std::cout << "Figure 4: Scalability with 4KB and 2MB pages (class "
-            << npb::klass_name(klass) << "; times in simulated seconds; "
-            << result.workers << " workers, "
-            << format_seconds(result.wall_ms / 1e3) << "s wall)\n";
+  std::cout << "Figure 4: Scalability with "
+            << (paging_axis ? "paging policies" : "4KB and 2MB pages")
+            << " (class " << npb::klass_name(klass)
+            << "; times in simulated seconds; " << result.workers
+            << " workers, " << format_seconds(result.wall_ms / 1e3)
+            << "s wall)\n";
 
   const std::string opteron = sim::ProcessorSpec::opteron270().name;
   const std::string xeon = sim::ProcessorSpec::xeon_ht().name;
+  if (paging_axis) {
+    for (npb::Kernel k : spec.kernels) {
+      const std::string kernel = npb::kernel_name(k);
+      std::cout << "\n--- " << kernel << " (Opteron) ---\n";
+      std::vector<std::string> header = {"threads"};
+      for (const paging::PolicySpec& p : spec.paging_policies) {
+        header.push_back(p.name());
+      }
+      for (std::size_t i = 1; i < spec.paging_policies.size(); ++i) {
+        header.push_back(std::string(spec.paging_policies[i].name()) +
+                         " improv");
+      }
+      TextTable table(header);
+      for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const exec::RunRecord* base =
+            result.find(kernel, opteron, threads, "4KB",
+                        spec.paging_policies.front().name());
+        if (base == nullptr) continue;
+        std::vector<std::string> row{std::to_string(threads)};
+        for (const paging::PolicySpec& p : spec.paging_policies) {
+          const exec::RunRecord* r =
+              result.find(kernel, opteron, threads, "4KB", p.name());
+          row.push_back(r ? format_seconds(r->simulated_seconds) : "-");
+        }
+        for (std::size_t i = 1; i < spec.paging_policies.size(); ++i) {
+          const exec::RunRecord* r = result.find(
+              kernel, opteron, threads, "4KB", spec.paging_policies[i].name());
+          row.push_back(r ? bench::improvement(base->simulated_seconds,
+                                               r->simulated_seconds)
+                          : "-");
+        }
+        table.add_row(std::move(row));
+      }
+      table.print();
+    }
+    bench::write_json(opts, result);
+    return 0;
+  }
   for (npb::Kernel k : spec.kernels) {
     const std::string kernel = npb::kernel_name(k);
     std::cout << "\n--- " << kernel << " ---\n";

@@ -21,6 +21,15 @@ int main(int argc, char** argv) {
   exec::SweepSpec spec = exec::SweepSpec::figure5(klass, threads);
   spec.kernels = bench::kernels_from(opts);
 
+  // --paging= swaps the 4KB/2MB columns for one walk-count column per
+  // policy, normalised to the first policy listed (layout axis fixed at
+  // 4 KB — every policy reinterprets the same address stream).
+  const bool paging_axis = !opts.get("paging", "").empty();
+  if (paging_axis) {
+    spec.page_kinds = {PageKind::small4k};
+    spec.paging_policies = bench::paging_from(opts);
+  }
+
   exec::ExperimentEngine engine = bench::make_engine(opts);
   const exec::SweepResult result = engine.run(spec);
   bench::require_all_verified(result);
@@ -30,14 +39,49 @@ int main(int argc, char** argv) {
             << " threads, " << opteron << " (class " << npb::klass_name(klass)
             << "; " << result.workers << " workers)\n\n";
 
+  const auto walks = [](const exec::RunRecord& r) {
+    return r.dtlb_walks_4k + r.dtlb_walks_2m + r.dtlb_walks_1g;
+  };
+  if (paging_axis) {
+    std::vector<std::string> header = {"Application"};
+    for (const paging::PolicySpec& p : spec.paging_policies) {
+      header.push_back(std::string(p.name()) + " walks");
+      header.push_back(std::string(p.name()) + " norm");
+    }
+    TextTable table(header);
+    for (npb::Kernel k : spec.kernels) {
+      const std::string kernel = npb::kernel_name(k);
+      const exec::RunRecord* base = result.find(
+          kernel, opteron, threads, "4KB", spec.paging_policies.front().name());
+      std::vector<std::string> row = {kernel};
+      for (const paging::PolicySpec& p : spec.paging_policies) {
+        const exec::RunRecord* r =
+            result.find(kernel, opteron, threads, "4KB", p.name());
+        if (r == nullptr || base == nullptr) {
+          row.insert(row.end(), {"-", "-"});
+          continue;
+        }
+        const count_t b = walks(*base);
+        row.push_back(format_count(walks(*r)));
+        row.push_back(b ? format_ratio(static_cast<double>(walks(*r)) /
+                                       static_cast<double>(b))
+                        : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    bench::write_json(opts, result);
+    return 0;
+  }
+
   TextTable table({"Application", "4KB misses", "2MB misses",
                    "normalized 4KB", "normalized 2MB", "reduction factor"});
   for (npb::Kernel k : spec.kernels) {
     const std::string kernel = npb::kernel_name(k);
     const exec::RunRecord* r4k = result.find(kernel, opteron, threads, "4KB");
     const exec::RunRecord* r2m = result.find(kernel, opteron, threads, "2MB");
-    const count_t m4k = r4k->dtlb_walks_4k + r4k->dtlb_walks_2m;
-    const count_t m2m = r2m->dtlb_walks_4k + r2m->dtlb_walks_2m;
+    const count_t m4k = walks(*r4k);
+    const count_t m2m = walks(*r2m);
     const double norm2m =
         m4k ? static_cast<double>(m2m) / static_cast<double>(m4k) : 0.0;
     table.add_row({kernel, format_count(m4k), format_count(m2m), "1.00",

@@ -17,7 +17,7 @@ using namespace lpomp;
 namespace {
 
 void BM_TlbLookupHit(benchmark::State& state) {
-  tlb::Tlb t({"bench", {32, 32}, {8, 8}});
+  tlb::Tlb t({"bench", {32, 32}, {8, 8}, {0, 0}});
   t.insert(42, PageKind::small4k);
   for (auto _ : state) {
     benchmark::DoNotOptimize(t.lookup(42, PageKind::small4k));
@@ -26,7 +26,7 @@ void BM_TlbLookupHit(benchmark::State& state) {
 BENCHMARK(BM_TlbLookupHit);
 
 void BM_TlbLookupMissFill(benchmark::State& state) {
-  tlb::Tlb t({"bench", {32, 32}, {8, 8}});
+  tlb::Tlb t({"bench", {32, 32}, {8, 8}, {0, 0}});
   vpn_t vpn = 0;
   for (auto _ : state) {
     if (!t.lookup(vpn, PageKind::small4k)) t.insert(vpn, PageKind::small4k);

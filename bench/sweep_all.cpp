@@ -40,6 +40,7 @@
 
 #include "bench/bench_common.hpp"
 #include "exec/json.hpp"
+#include "serve/client.hpp"
 #include "trace/replay.hpp"
 
 using namespace lpomp;
@@ -99,6 +100,17 @@ int main(int argc, char** argv) {
   const exec::Strategy strategy =
       exec::resolve_strategy(bench::strategy_from(opts));
   spec.trace_backed = strategy != exec::Strategy::Live;
+
+  // --paging=native,hugetlb2m,huge1g,thp adds the paging-policy axis. Every
+  // policy reinterprets the same recorded address stream, so the layout axis
+  // collapses to 4 KB: one stream per kernel × class × threads feeds every
+  // policy column, and the fused groups fan out across policies exactly as
+  // they do across platforms.
+  const bool paging_axis = !opts.get("paging", "").empty();
+  if (paging_axis) {
+    spec.page_kinds = {PageKind::small4k};
+    spec.paging_policies = bench::paging_from(opts);
+  }
 
   if (opts.get_flag("replay-check")) {
     const std::size_t bytes =
@@ -164,33 +176,67 @@ int main(int argc, char** argv) {
   // --- headline table: the paper's §4.4 results in one place -------------
   const std::string opteron = sim::ProcessorSpec::opteron270().name;
   const std::string xeon = sim::ProcessorSpec::xeon_ht().name;
-  std::cout << "\nHeadline reproduction (4 threads, Opteron; Fig. 3/4/5):\n";
-  TextTable table({"app", "2MB improv @4T", "DTLB walk reduction",
-                   "ITLB misses/sec", "xeon 2MB improv @8T"});
-  for (npb::Kernel k : spec.kernels) {
-    const std::string kernel = npb::kernel_name(k);
-    const exec::RunRecord* o4k = cold.find(kernel, opteron, 4, "4KB");
-    const exec::RunRecord* o2m = cold.find(kernel, opteron, 4, "2MB");
-    const exec::RunRecord* x4k = cold.find(kernel, xeon, 8, "4KB");
-    const exec::RunRecord* x2m = cold.find(kernel, xeon, 8, "2MB");
-    const count_t w4k = o4k->dtlb_walks_4k + o4k->dtlb_walks_2m;
-    const count_t w2m = o2m->dtlb_walks_4k + o2m->dtlb_walks_2m;
-    table.add_row(
-        {kernel,
-         bench::improvement(o4k->simulated_seconds, o2m->simulated_seconds),
-         w2m ? format_ratio(static_cast<double>(w4k) /
-                            static_cast<double>(w2m)) +
-                   "x"
-             : "inf",
-         format_ratio(static_cast<double>(o4k->itlb_misses) /
-                      (o4k->simulated_seconds > 0 ? o4k->simulated_seconds
-                                                  : 1.0)),
-         bench::improvement(x4k->simulated_seconds, x2m->simulated_seconds)});
+  if (paging_axis) {
+    // Policy sweep: per-kernel run time and total walk count at 4 threads on
+    // the Opteron, one column pair per policy, improvement vs the first
+    // policy in the list (conventionally native/base4k).
+    std::cout << "\nPaging-policy comparison (4 threads, Opteron):\n";
+    std::vector<std::string> header = {"app"};
+    for (const paging::PolicySpec& p : spec.paging_policies) {
+      header.push_back(std::string(p.name()) + " improv");
+      header.push_back(std::string(p.name()) + " walks");
+    }
+    TextTable table(header);
+    for (npb::Kernel k : spec.kernels) {
+      const std::string kernel = npb::kernel_name(k);
+      const exec::RunRecord* base = cold.find(
+          kernel, opteron, 4, "4KB", spec.paging_policies.front().name());
+      std::vector<std::string> row = {kernel};
+      for (const paging::PolicySpec& p : spec.paging_policies) {
+        const exec::RunRecord* r =
+            cold.find(kernel, opteron, 4, "4KB", p.name());
+        if (r == nullptr || base == nullptr) {
+          row.push_back("-");
+          row.push_back("-");
+          continue;
+        }
+        row.push_back(bench::improvement(base->simulated_seconds,
+                                         r->simulated_seconds));
+        row.push_back(std::to_string(r->dtlb_walks_4k + r->dtlb_walks_2m +
+                                     r->dtlb_walks_1g));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  } else {
+    std::cout << "\nHeadline reproduction (4 threads, Opteron; Fig. 3/4/5):\n";
+    TextTable table({"app", "2MB improv @4T", "DTLB walk reduction",
+                     "ITLB misses/sec", "xeon 2MB improv @8T"});
+    for (npb::Kernel k : spec.kernels) {
+      const std::string kernel = npb::kernel_name(k);
+      const exec::RunRecord* o4k = cold.find(kernel, opteron, 4, "4KB");
+      const exec::RunRecord* o2m = cold.find(kernel, opteron, 4, "2MB");
+      const exec::RunRecord* x4k = cold.find(kernel, xeon, 8, "4KB");
+      const exec::RunRecord* x2m = cold.find(kernel, xeon, 8, "2MB");
+      const count_t w4k = o4k->dtlb_walks_4k + o4k->dtlb_walks_2m;
+      const count_t w2m = o2m->dtlb_walks_4k + o2m->dtlb_walks_2m;
+      table.add_row(
+          {kernel,
+           bench::improvement(o4k->simulated_seconds, o2m->simulated_seconds),
+           w2m ? format_ratio(static_cast<double>(w4k) /
+                              static_cast<double>(w2m)) +
+                     "x"
+               : "inf",
+           format_ratio(static_cast<double>(o4k->itlb_misses) /
+                        (o4k->simulated_seconds > 0 ? o4k->simulated_seconds
+                                                    : 1.0)),
+           bench::improvement(x4k->simulated_seconds, x2m->simulated_seconds)});
+    }
+    table.print();
+    std::cout << "\nPaper targets: CG ~25%, SP ~20%, MG ~17% @4T Opteron; "
+                 "BT/FT flat;\nDTLB reduction >=10x for CG/SP/MG vs 2-3x for "
+                 "BT/FT; ITLB negligible;\nSP ~13% @8T Xeon.\n";
   }
-  table.print();
-  std::cout << "\nPaper targets: CG ~25%, SP ~20%, MG ~17% @4T Opteron; "
-               "BT/FT flat;\nDTLB reduction >=10x for CG/SP/MG vs 2-3x for "
-               "BT/FT; ITLB negligible;\nSP ~13% @8T Xeon.\n";
 
   // --- JSON document ------------------------------------------------------
   const std::string path = opts.get("json", "");
@@ -245,20 +291,40 @@ int main(int argc, char** argv) {
             ? 0.0
             : static_cast<double>(cold.fused_lanes) /
                   static_cast<double>(cold.records.size());
+    // The admission-queue peak is daemon-side state: sweep_all itself runs
+    // unqueued, so without --shm= the field reports 0 for schema parity.
+    // With --shm=NAME it probes the live daemon's ring via the stats
+    // request and reports the real high-water mark.
+    std::uint64_t queue_depth_peak = 0;
+    const std::string shm = opts.get("shm", "");
+    if (!shm.empty()) {
+      try {
+        serve::SweepClient stats_client(shm);
+        const exec::JsonValue doc = exec::json_parse(stats_client.stats());
+        queue_depth_peak =
+            doc.at("stats").at("queue_depth_peak").as_uint64();
+      } catch (const std::exception& e) {
+        std::cerr << "warning: stats probe of --shm=" << shm
+                  << " failed: " << e.what() << "\n";
+      }
+    }
     exec::JsonWriter b;
     b.begin_object();
-    b.field("schema", "lpomp-bench-sweep-v3");
+    b.field("schema", "lpomp-bench-sweep-v4");
     b.field("klass", std::string(npb::klass_name(klass)));
     b.field("workers", static_cast<std::uint64_t>(cold.workers));
     b.field("strategy", exec::strategy_name(strategy));
+    b.key("paging");
+    b.begin_array();
+    for (const paging::PolicySpec& p : spec.paging_policies) {
+      b.value(p.name());
+    }
+    b.end_array();
     b.field("runs", static_cast<std::uint64_t>(cold.records.size()));
     b.field("cold_wall_ms", cold.wall_ms);
     b.field("warm_wall_ms", warm.wall_ms);
     b.field("warm_cache_hit_rate", warm_hit_rate);
-    // Persistent-store telemetry (all zero when --store-dir= is not given)
-    // plus the admission-queue peak, which only the sweep daemon's ring can
-    // populate — sweep_all runs unqueued, so it reports 0 and the field
-    // exists for schema parity with the service's documents.
+    // Persistent-store telemetry (all zero when --store-dir= is not given).
     b.key("store");
     b.begin_object();
     b.field("enabled", engine.disk_store() != nullptr);
@@ -270,7 +336,7 @@ int main(int argc, char** argv) {
     b.field("bytes_written",
             cold.store.bytes_written + warm.store.bytes_written);
     b.end_object();
-    b.field("admission_queue_depth_peak", std::uint64_t{0});
+    b.field("admission_queue_depth_peak", queue_depth_peak);
     b.key("lane_stats");
     b.begin_object();
     b.field("fused_groups", static_cast<std::uint64_t>(cold.fused_groups));
@@ -319,8 +385,11 @@ int main(int argc, char** argv) {
     b.begin_array();
     for (const exec::RunRecord& r : cold.records) {
       b.begin_object();
-      b.field("label", r.kernel + "." + r.klass + "/" + r.platform + "/" +
-                           std::to_string(r.threads) + "T/" + r.page_kind);
+      b.field("label",
+              r.kernel + "." + r.klass + "/" + r.platform + "/" +
+                  std::to_string(r.threads) + "T/" + r.page_kind +
+                  (r.paging == "native" ? "" : "/" + r.paging));
+      b.field("paging", r.paging);
       b.field("wall_ms", r.wall_ms);
       b.field("source", r.trace_source);
       b.field("cache_hit", r.cache_hit);

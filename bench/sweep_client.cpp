@@ -1,11 +1,13 @@
 // sweep_client — thin client for the sweep_service daemon.
 //
 //   sweep_client [--shm=/lpomp-sweep] [--kernels=CG,MG] [--klass=S]
-//                [--platforms=opteron,xeon] [--threads=1,2,4,8]
-//                [--pages=4KB,2MB] [--code-pages=4KB] [--seed=N]
+//                [--platforms=opteron,xeon,modern] [--threads=1,2,4,8]
+//                [--pages=4KB,2MB] [--code-pages=4KB]
+//                [--paging=native,hugetlb2m,huge1g,thp] [--seed=N]
 //                [--per-task-seeds]
 //                [--strategy=live|recorded|multilane|analytic|auto]
 //                [--repeat=1] [--timeout-ms=120000] [--json=FILE] [--quiet]
+//   sweep_client --stats [--shm=/lpomp-sweep]
 //
 // Encodes the sweep as one request line, submits it over the daemon's
 // shared-memory ring, and prints the response JSON to stdout (or --json=).
@@ -13,6 +15,10 @@
 // store in microseconds — --repeat=N resubmits the identical request and
 // reports min/mean round-trip latency on stderr, which is how the CI smoke
 // job asserts the warm path stays sub-millisecond.
+//
+// --stats skips the sweep entirely and prints the daemon's telemetry
+// document (ring counters, queue-depth peak, persistent-store stats) —
+// the read-only probe that used to require SIGTERMing the daemon to see.
 //
 // Exit status: 0 on an "ok" response, 1 on a daemon-side error response,
 // 2 on local failures (no daemon, ring saturated, malformed flags).
@@ -43,6 +49,19 @@ std::vector<std::string> split_csv(const std::string& text) {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
 
+  if (opts.get_flag("stats")) {
+    try {
+      serve::SweepClient client(opts.get("shm", "/lpomp-sweep"));
+      std::cout << client.stats(std::chrono::milliseconds(
+                       opts.get_int("timeout-ms", 10000)))
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "sweep_client: " << e.what() << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
   serve::SweepRequest request;
   request.kernels = bench::kernels_from(opts);
   request.klass = bench::klass_by_name(opts.get("klass", "S"));
@@ -65,6 +84,7 @@ int main(int argc, char** argv) {
   request.code_page_kind =
       opts.get("code-pages", "4KB") == "2MB" ? PageKind::large2m
                                              : PageKind::small4k;
+  request.paging = split_csv(opts.get("paging", "native"));
   request.base_seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
   request.per_task_seeds = opts.get_flag("per-task-seeds");

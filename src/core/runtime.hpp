@@ -71,6 +71,12 @@ struct RuntimeConfig {
   /// keeps code on 4 KB pages; the code-page ablation flips this).
   PageKind code_page_kind = PageKind::small4k;
 
+  /// Paging-policy overlay installed on every simulated thread (see
+  /// paging/policy.hpp). Orthogonal to page_kind: the layout still
+  /// determines the address stream; the policy reinterprets translations
+  /// at accounting time. Default native = identity.
+  paging::PolicySpec paging{};
+
   /// Attach the machine simulator (required for timing/profile output).
   std::optional<SimConfig> sim;
 

@@ -49,6 +49,9 @@ void put_tlb(std::string& out, const char* name, const tlb::Tlb::Config& c) {
   out += '{';
   put_tlb_geometry(out, "4k", c.small4k);
   put_tlb_geometry(out, "2m", c.large2m);
+  // Emitted only when present so every pre-1G config keeps its exact
+  // historical key (the FingerprintGolden digest pin).
+  if (c.huge1g.present()) put_tlb_geometry(out, "1g", c.huge1g);
   out += '}';
 }
 
@@ -81,6 +84,28 @@ void put_spec(std::string& out, const sim::ProcessorSpec& spec) {
   put(out, "l2_shared", static_cast<std::uint64_t>(spec.l2_shared_per_chip));
   put(out, "smt_flush_on_switch",
       static_cast<std::uint64_t>(spec.smt_flush_on_switch));
+  // Conditional for the same reason as the 1g TLB geometry above.
+  if (spec.pwc.present()) {
+    out += "pwc{";
+    put(out, "entries", spec.pwc.entries);
+    put(out, "ways", spec.pwc.ways);
+    out += '}';
+  }
+  out += '}';
+}
+
+/// Paging-policy key segment — only non-native policies alter the result,
+/// so native emits nothing and every historical key is preserved verbatim.
+void put_paging(std::string& out, const paging::PolicySpec& p) {
+  if (p.is_native()) return;
+  out += "paging{";
+  put(out, "policy", std::string(p.name()));
+  if (p.policy == paging::Policy::thp) {
+    put(out, "frag_seed", p.thp.frag_seed);
+    put(out, "frag_base", p.thp.frag_base);
+    put(out, "frag_growth", p.thp.frag_growth);
+    put(out, "compaction_interval", p.thp.compaction_interval);
+  }
   out += '}';
 }
 
@@ -118,6 +143,7 @@ std::string cache_key(const RunTask& task) {
   put(key, "page_kind", std::string(page_kind_name(task.page_kind)));
   put(key, "code_page_kind", std::string(page_kind_name(task.code_page_kind)));
   put(key, "seed", task.seed);
+  put_paging(key, task.paging);
   put_spec(key, task.spec);
   put_cost(key, task.cost);
   key += '}';

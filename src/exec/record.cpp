@@ -7,15 +7,18 @@ namespace lpomp::exec {
 bool RunRecord::same_result(const RunRecord& o) const {
   return kernel == o.kernel && klass == o.klass && platform == o.platform &&
          threads == o.threads && page_kind == o.page_kind &&
-         code_page_kind == o.code_page_kind && seed == o.seed &&
+         code_page_kind == o.code_page_kind && paging == o.paging &&
+         seed == o.seed &&
          key_digest == o.key_digest && ok == o.ok && error == o.error &&
          verified == o.verified && checksum == o.checksum &&
          simulated_seconds == o.simulated_seconds && cycles == o.cycles &&
          accesses == o.accesses && l1d_misses == o.l1d_misses &&
          l2_misses == o.l2_misses && dtlb_l1_misses == o.dtlb_l1_misses &&
          dtlb_walks_4k == o.dtlb_walks_4k &&
-         dtlb_walks_2m == o.dtlb_walks_2m && itlb_misses == o.itlb_misses &&
-         walk_levels == o.walk_levels && long_stalls == o.long_stalls;
+         dtlb_walks_2m == o.dtlb_walks_2m &&
+         dtlb_walks_1g == o.dtlb_walks_1g && itlb_misses == o.itlb_misses &&
+         walk_levels == o.walk_levels && pwc_hits == o.pwc_hits &&
+         long_stalls == o.long_stalls;
 }
 
 std::string RunRecord::to_json(bool include_host) const {
@@ -27,6 +30,7 @@ std::string RunRecord::to_json(bool include_host) const {
   w.field("threads", threads);
   w.field("page_kind", page_kind);
   w.field("code_page_kind", code_page_kind);
+  w.field("paging", paging);
   w.field("seed", seed);
   w.field("key_digest", key_digest);
   w.field("ok", ok);
@@ -43,8 +47,10 @@ std::string RunRecord::to_json(bool include_host) const {
   w.field("dtlb_l1_misses", dtlb_l1_misses);
   w.field("dtlb_walks_4k", dtlb_walks_4k);
   w.field("dtlb_walks_2m", dtlb_walks_2m);
+  w.field("dtlb_walks_1g", dtlb_walks_1g);
   w.field("itlb_misses", itlb_misses);
   w.field("walk_levels", walk_levels);
+  w.field("pwc_hits", pwc_hits);
   w.field("long_stalls", long_stalls);
   w.end_object();
   if (include_host) {
@@ -69,6 +75,9 @@ RunRecord record_from_json_value(const JsonValue& doc) {
   r.threads = static_cast<unsigned>(doc.at("threads").as_uint64());
   r.page_kind = doc.at("page_kind").as_string();
   r.code_page_kind = doc.at("code_page_kind").as_string();
+  // Lenient: records persisted before the paging subsystem lack the field
+  // and are all native runs.
+  if (const JsonValue* p = doc.find("paging")) r.paging = p->as_string();
   r.seed = doc.at("seed").as_uint64();
   r.key_digest = doc.at("key_digest").as_string();
   r.ok = doc.at("ok").as_bool();
@@ -84,8 +93,12 @@ RunRecord record_from_json_value(const JsonValue& doc) {
   r.dtlb_l1_misses = c.at("dtlb_l1_misses").as_uint64();
   r.dtlb_walks_4k = c.at("dtlb_walks_4k").as_uint64();
   r.dtlb_walks_2m = c.at("dtlb_walks_2m").as_uint64();
+  if (const JsonValue* v = c.find("dtlb_walks_1g")) {
+    r.dtlb_walks_1g = v->as_uint64();
+  }
   r.itlb_misses = c.at("itlb_misses").as_uint64();
   r.walk_levels = c.at("walk_levels").as_uint64();
+  if (const JsonValue* v = c.find("pwc_hits")) r.pwc_hits = v->as_uint64();
   r.long_stalls = c.at("long_stalls").as_uint64();
   if (const JsonValue* v = doc.find("cache_hit")) r.cache_hit = v->as_bool();
   if (const JsonValue* v = doc.find("store_hit")) r.store_hit = v->as_bool();

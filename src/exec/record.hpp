@@ -24,6 +24,7 @@ struct RunRecord {
   unsigned threads = 0;
   std::string page_kind;  ///< "4KB" / "2MB"
   std::string code_page_kind;
+  std::string paging = "native";  ///< paging-policy overlay name
   std::uint64_t seed = 0;
   std::string key_digest;  ///< 16-hex-digit content-key digest
 
@@ -42,8 +43,10 @@ struct RunRecord {
   count_t dtlb_l1_misses = 0;
   count_t dtlb_walks_4k = 0;  ///< full walks, per PageKind — Figure 5's event
   count_t dtlb_walks_2m = 0;
+  count_t dtlb_walks_1g = 0;
   count_t itlb_misses = 0;
   count_t walk_levels = 0;
+  count_t pwc_hits = 0;  ///< walk levels skipped via the page-walk cache
   count_t long_stalls = 0;
 
   // --- host-side metadata (non-deterministic; excluded from golden) -------

@@ -60,8 +60,10 @@ void fill_outcome(RunRecord& record, bool verified, double checksum,
   record.dtlb_l1_misses = p.count(ProfileReport::kDtlbL1Miss);
   record.dtlb_walks_4k = p.count(ProfileReport::kDtlbWalk4k);
   record.dtlb_walks_2m = p.count(ProfileReport::kDtlbWalk2m);
+  record.dtlb_walks_1g = p.count(ProfileReport::kDtlbWalk1g);
   record.itlb_misses = p.count(ProfileReport::kItlbMiss);
   record.walk_levels = p.count(ProfileReport::kWalkLevels);
+  record.pwc_hits = p.count(ProfileReport::kPwcHits);
   record.long_stalls = p.count(ProfileReport::kLongStalls);
 }
 
@@ -71,6 +73,7 @@ RunRecord execute_live(const RunTask& task, const sim::SinkHooks& hooks,
   cfg.num_threads = task.threads;
   cfg.page_kind = task.page_kind;
   cfg.code_page_kind = task.code_page_kind;
+  cfg.paging = task.paging;
   cfg.sim = core::SimConfig{task.spec, task.cost, task.seed};
   cfg.trace_hooks = hooks;
 
@@ -82,6 +85,7 @@ RunRecord execute_live(const RunTask& task, const sim::SinkHooks& hooks,
 trace::ReplayConfig replay_config(const RunTask& task, bool analytic) {
   trace::ReplayConfig cfg{task.spec, task.cost, task.seed,
                           task.code_page_kind};
+  cfg.paging = task.paging;
   cfg.analytic = analytic;
   return cfg;
 }
@@ -141,6 +145,20 @@ const RunRecord* SweepResult::find(const std::string& kernel,
   for (const RunRecord& r : records) {
     if (r.kernel == kernel && r.platform == platform && r.threads == threads &&
         r.page_kind == page_kind) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+const RunRecord* SweepResult::find(const std::string& kernel,
+                                   const std::string& platform,
+                                   unsigned threads,
+                                   const std::string& page_kind,
+                                   const std::string& paging) const {
+  for (const RunRecord& r : records) {
+    if (r.kernel == kernel && r.platform == platform && r.threads == threads &&
+        r.page_kind == page_kind && r.paging == paging) {
       return &r;
     }
   }
@@ -712,6 +730,7 @@ RunRecord Scheduler::base_record(const RunTask& task) {
   record.threads = task.threads;
   record.page_kind = page_kind_name(task.page_kind);
   record.code_page_kind = page_kind_name(task.code_page_kind);
+  record.paging = task.paging.name();
   record.seed = task.seed;
   record.key_digest = digest_hex(cache_key(task));
   return record;

@@ -76,8 +76,15 @@ struct SweepResult {
 
   /// Record for a (kernel, platform, threads, page kind) grid point, or
   /// nullptr — the lookup the figure harnesses print their tables from.
+  /// Returns the first match, so on a multi-policy sweep this is the first
+  /// policy in grid order; use the policy-qualified overload to pick one.
   const RunRecord* find(const std::string& kernel, const std::string& platform,
                         unsigned threads, const std::string& page_kind) const;
+
+  /// Same lookup additionally keyed by paging-policy name ("native", "thp"…).
+  const RunRecord* find(const std::string& kernel, const std::string& platform,
+                        unsigned threads, const std::string& page_kind,
+                        const std::string& paging) const;
 
   /// {"schema":...,"summary":{...},"runs":[...]}. With include_host=false
   /// only deterministic fields are emitted (golden files, worker-count

@@ -12,6 +12,10 @@ std::string RunTask::label() const {
   s += std::to_string(threads);
   s += "T/";
   s += page_kind_name(page_kind);
+  if (!paging.is_native()) {
+    s += '/';
+    s += paging.name();
+  }
   return s;
 }
 
@@ -23,19 +27,22 @@ std::vector<RunTask> SweepSpec::expand() const {
       for (unsigned t : threads) {
         if (t == 0 || t > platform.max_threads()) continue;
         for (PageKind kind : page_kinds) {
-          RunTask task;
-          task.kernel = kernel;
-          task.klass = klass;
-          task.spec = platform;
-          task.cost = cost;
-          task.threads = t;
-          task.page_kind = kind;
-          task.code_page_kind = code_page_kind;
-          task.seed =
-              per_task_seeds ? splitmix64(base_seed + index) : base_seed;
-          task.trace_backed = trace_backed;
-          tasks.push_back(std::move(task));
-          ++index;
+          for (const paging::PolicySpec& policy : paging_policies) {
+            RunTask task;
+            task.kernel = kernel;
+            task.klass = klass;
+            task.spec = platform;
+            task.cost = cost;
+            task.threads = t;
+            task.page_kind = kind;
+            task.code_page_kind = code_page_kind;
+            task.seed =
+                per_task_seeds ? splitmix64(base_seed + index) : base_seed;
+            task.paging = policy;
+            task.trace_backed = trace_backed;
+            tasks.push_back(std::move(task));
+            ++index;
+          }
         }
       }
     }

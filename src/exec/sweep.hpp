@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "npb/npb.hpp"
+#include "paging/policy.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/processor_spec.hpp"
 
@@ -45,6 +46,11 @@ struct RunTask {
   PageKind code_page_kind = PageKind::small4k;
   std::uint64_t seed = 0x5eedULL;
 
+  /// Paging-policy overlay (see paging/policy.hpp). Part of the result's
+  /// identity (and cache key) but NOT of the stream identity: tasks that
+  /// differ only in policy share one recorded trace.
+  paging::PolicySpec paging{};
+
   /// Run through the engine's trace store: record this task's address
   /// stream on first use and replay it for every later task that shares it
   /// (same kernel/class/threads/page kind — see src/trace). Replayed
@@ -53,7 +59,8 @@ struct RunTask {
   /// the cache key).
   bool trace_backed = false;
 
-  /// Human-readable tag, e.g. "CG.R/opteron270/4T/2MB".
+  /// Human-readable tag, e.g. "CG.R/opteron270/4T/2MB" (plus "/thp" etc.
+  /// when a non-native paging policy is set).
   std::string label() const;
 };
 
@@ -69,6 +76,12 @@ struct SweepSpec {
   std::vector<PageKind> page_kinds = {PageKind::small4k, PageKind::large2m};
   sim::CostModel cost;
   PageKind code_page_kind = PageKind::small4k;
+
+  /// Paging-policy axis (innermost grid dimension). The default single
+  /// native entry reproduces the historical grids exactly; a multi-policy
+  /// sweep replays one recorded stream per (kernel, class, threads, page
+  /// kind) point under every policy.
+  std::vector<paging::PolicySpec> paging_policies = {{}};
 
   std::uint64_t base_seed = 0x5eedULL;
   /// false → every task runs with base_seed (bit-identical to the serial

@@ -111,8 +111,12 @@ class AddressSpace {
   PhysMem& pm_;
   PageTable table_;
   std::map<vaddr_t, RegionState> regions_;  // keyed by base
-  vaddr_t next_base_[2] = {kSmallArenaBase, kLargeArenaBase};
-  std::size_t mapped_bytes_[2] = {0, 0};
+  // Indexed by PageKind. Layouts only ever use the first two arenas; the
+  // huge1g slot exists so kind-indexed bookkeeping stays in bounds (the
+  // paging-policy overlay produces huge1g *translations*, never mappings).
+  vaddr_t next_base_[kPageKindCount] = {kSmallArenaBase, kLargeArenaBase,
+                                        vaddr_t{1} << 40};
+  std::size_t mapped_bytes_[kPageKindCount] = {0, 0, 0};
   count_t promotions_ = 0;
 };
 

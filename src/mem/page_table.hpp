@@ -86,19 +86,29 @@ class PageTable {
     return static_cast<unsigned>((vaddr >> shift) & (kEntriesPerNode - 1));
   }
 
-  /// Depth of the leaf entry for this page kind: 3 (PT) for 4 KB, 2 (PD) for
-  /// 2 MB, counting the root as level 0.
-  static unsigned leaf_level(PageKind kind) {
-    return kind == PageKind::small4k ? kLevels - 1 : kLevels - 2;
-  }
-
   std::size_t new_node();
 
   PhysMem& pm_;
   std::vector<Node> nodes_;        // nodes_[0] is the root; slots are reused
   std::vector<std::size_t> free_slots_;
   std::size_t live_nodes_ = 0;
-  count_t mapped_[2] = {0, 0};
+  count_t mapped_[kPageKindCount] = {0, 0, 0};
+
+ public:
+  /// Depth of the leaf entry for this page kind, counting the root as level
+  /// 0: 3 (PT) for 4 KB, 2 (PD) for 2 MB, 1 (PDPT/PUD) for 1 GiB. Public so
+  /// the paging-policy overlay can reason about effective walk depths.
+  static unsigned leaf_level(PageKind kind) {
+    switch (kind) {
+      case PageKind::small4k:
+        return kLevels - 1;
+      case PageKind::large2m:
+        return kLevels - 2;
+      case PageKind::huge1g:
+        return kLevels - 3;
+    }
+    return kLevels - 1;
+  }
 };
 
 }  // namespace lpomp::mem

@@ -28,8 +28,10 @@ ProfileReport ProfileReport::from_machine(const sim::Machine& machine,
   add(kDtlbWalk, t.dtlb_walk_total());
   add(kDtlbWalk4k, t.dtlb_walks[static_cast<std::size_t>(PageKind::small4k)]);
   add(kDtlbWalk2m, t.dtlb_walks[static_cast<std::size_t>(PageKind::large2m)]);
+  add(kDtlbWalk1g, t.dtlb_walks[static_cast<std::size_t>(PageKind::huge1g)]);
   add(kItlbMiss, t.itlb_misses);
   add(kWalkLevels, t.walk_levels);
+  add(kPwcHits, t.pwc_hits);
   add(kPrefetchCovered, t.prefetch_covered);
   add(kLongStalls, t.long_stalls);
   return report;

@@ -48,8 +48,10 @@ class ProfileReport {
   static constexpr const char* kDtlbWalk = "L1_AND_L2_DTLB_MISS";
   static constexpr const char* kDtlbWalk4k = "L1_AND_L2_DTLB_MISS_4K";
   static constexpr const char* kDtlbWalk2m = "L1_AND_L2_DTLB_MISS_2M";
+  static constexpr const char* kDtlbWalk1g = "L1_AND_L2_DTLB_MISS_1G";
   static constexpr const char* kItlbMiss = "ITLB_MISS";
   static constexpr const char* kWalkLevels = "PAGE_WALK_LEVELS";
+  static constexpr const char* kPwcHits = "PWC_HITS";
   static constexpr const char* kPrefetchCovered = "PREFETCH_COVERED_MISSES";
   static constexpr const char* kLongStalls = "LONG_LATENCY_STALLS";
 

@@ -28,7 +28,15 @@ SweepClient::SweepClient(const std::string& shm_name)
 
 std::string SweepClient::submit(const SweepRequest& request,
                                 std::chrono::milliseconds deadline) {
-  const std::string text = encode_request(request);
+  return round_trip(encode_request(request), deadline);
+}
+
+std::string SweepClient::stats(std::chrono::milliseconds deadline) {
+  return round_trip(encode_stats_request(), deadline);
+}
+
+std::string SweepClient::round_trip(const std::string& text,
+                                    std::chrono::milliseconds deadline) {
   if (text.size() > ring_.slot_bytes()) {
     throw ClientError("request exceeds slot capacity");
   }

@@ -47,7 +47,19 @@ class SweepClient {
                      std::chrono::milliseconds deadline =
                          std::chrono::milliseconds(120000));
 
+  /// Telemetry round trip: sends the stats request line and returns the
+  /// daemon's {"schema":...,"status":"ok","stats":{...}} document. Same
+  /// failure modes as submit(); the short default deadline reflects that
+  /// answering never runs a sweep.
+  std::string stats(std::chrono::milliseconds deadline =
+                        std::chrono::milliseconds(10000));
+
  private:
+  /// The slot protocol shared by submit() and stats(): claim, publish
+  /// `text`, await, free. Returns the raw response payload.
+  std::string round_trip(const std::string& text,
+                         std::chrono::milliseconds deadline);
+
   ShmRing ring_;
   std::uint32_t client_id_ = 0;
   std::uint64_t sequence_ = 0;

@@ -35,10 +35,17 @@ void SweepService::serve_slot(std::uint32_t i) {
   std::uint32_t status = 0;
   try {
     const std::string text(payload, slot->request_bytes);
-    const SweepRequest request = decode_request(text);
-    const exec::SweepResult result =
-        scheduler_.run(request.to_spec(), request.strategy);
-    response = encode_response(result);
+    if (is_stats_request(text)) {
+      // Telemetry probe: answer from the ring header without running a
+      // sweep, so clients can read queue-depth/throughput counters from a
+      // live daemon.
+      response = encode_stats_response(stats_json());
+    } else {
+      const SweepRequest request = decode_request(text);
+      const exec::SweepResult result =
+          scheduler_.run(request.to_spec(), request.strategy);
+      response = encode_response(result);
+    }
   } catch (const std::exception& e) {
     response = encode_error_response(e.what());
     status = 1;

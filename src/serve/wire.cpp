@@ -9,6 +9,7 @@ namespace lpomp::serve {
 namespace {
 
 constexpr const char kRequestMagic[] = "lpomp-req-v1";
+constexpr const char kStatsRequest[] = "lpomp-req-v1;stats=1";
 
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> out;
@@ -84,14 +85,26 @@ exec::SweepSpec SweepRequest::to_spec() const {
       spec.platforms.push_back(sim::ProcessorSpec::opteron270());
     } else if (name == "xeon") {
       spec.platforms.push_back(sim::ProcessorSpec::xeon_ht());
+    } else if (name == "modern") {
+      spec.platforms.push_back(sim::ProcessorSpec::modern());
     } else {
       throw WireError("unknown platform '" + name +
-                      "' (valid: opteron, xeon)");
+                      "' (valid: opteron, xeon, modern)");
     }
   }
   spec.threads = threads;
   spec.page_kinds = page_kinds;
   spec.code_page_kind = code_page_kind;
+  spec.paging_policies.clear();
+  for (const std::string& name : paging) {
+    paging::Policy p;
+    if (!paging::policy_from_name(name, p)) {
+      throw WireError("unknown paging policy '" + name + "'");
+    }
+    paging::PolicySpec ps;
+    ps.policy = p;
+    spec.paging_policies.push_back(ps);
+  }
   spec.base_seed = base_seed;
   spec.per_task_seeds = per_task_seeds;
   return spec;
@@ -112,6 +125,12 @@ std::string encode_request(const SweepRequest& request) {
   out += join(request.page_kinds, [](PageKind k) { return page_kind_name(k); });
   out += ";code_pages=";
   out += page_kind_name(request.code_page_kind);
+  // Only a non-default axis goes on the wire: policy-free requests stay
+  // byte-identical to the pre-paging encoding, so old daemons accept them.
+  if (request.paging != std::vector<std::string>{"native"}) {
+    out += ";paging=";
+    out += join(request.paging, [](const std::string& p) { return p; });
+  }
   out += ";seed=";
   out += std::to_string(request.base_seed);
   out += ";per_task_seeds=";
@@ -154,6 +173,9 @@ SweepRequest decode_request(const std::string& text) {
           parse_list<PageKind>(value, page_kind_from, "pages");
     } else if (key == "code_pages") {
       request.code_page_kind = page_kind_from(value);
+    } else if (key == "paging") {
+      request.paging = parse_list<std::string>(
+          value, [](const std::string& p) { return p; }, "paging");
     } else if (key == "seed") {
       request.base_seed = parse_u64(value, "seed");
     } else if (key == "per_task_seeds") {
@@ -194,6 +216,21 @@ std::string encode_error_response(const std::string& message) {
   w.field("schema", "lpomp-serve-v1");
   w.field("status", "error");
   w.field("message", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_stats_request() { return kStatsRequest; }
+
+bool is_stats_request(const std::string& text) { return text == kStatsRequest; }
+
+std::string encode_stats_response(const std::string& stats_json) {
+  exec::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "lpomp-serve-v1");
+  w.field("status", "ok");
+  w.key("stats");
+  w.raw(stats_json);
   w.end_object();
   return w.str();
 }

@@ -51,6 +51,10 @@ struct SweepRequest {
   std::vector<unsigned> threads = {1, 2, 4, 8};
   std::vector<PageKind> page_kinds = {PageKind::small4k, PageKind::large2m};
   PageKind code_page_kind = PageKind::small4k;
+  /// Paging-policy axis by canonical name ("native", "base4k", "hugetlb2m",
+  /// "huge1g", "thp"). The default single native entry is encoded as an
+  /// absent field, so old daemons still accept policy-free requests.
+  std::vector<std::string> paging = {"native"};
   std::uint64_t base_seed = 0x5eedULL;
   bool per_task_seeds = false;
   exec::Strategy strategy = exec::Strategy::Auto;
@@ -74,5 +78,19 @@ std::string encode_response(const exec::SweepResult& result);
 
 /// The "error" response document.
 std::string encode_error_response(const std::string& message);
+
+/// Telemetry request: a distinct well-formed line (`lpomp-req-v1;stats=1`)
+/// the daemon answers with {"schema":"lpomp-serve-v1","status":"ok",
+/// "stats":<SweepService::stats_json()>} instead of running a sweep. Lets
+/// clients read queue-depth/throughput counters without SIGTERMing the
+/// daemon.
+std::string encode_stats_request();
+
+/// True when `text` is exactly the stats request line.
+bool is_stats_request(const std::string& text);
+
+/// The stats response document wrapping an already-serialised stats JSON
+/// object (see SweepService::stats_json()).
+std::string encode_stats_response(const std::string& stats_json);
 
 }  // namespace lpomp::serve

@@ -263,8 +263,14 @@ void ThreadSim::replay_analytic(const ReplaySlot* slots, std::size_t count,
   // so reference mode interprets; a sink needs live framing; and the
   // summary's line arithmetic is hardwired to 64-byte lines (as is the
   // interpreter's prefetcher probe — but the gate keeps the invariant
-  // local).
-  if (!fast_path_ || sink_.ctx != nullptr ||
+  // local). Non-identity paging overlays also interpret: the warm proofs
+  // are keyed by *layout* translations, but the overlay inserts *effective*
+  // translations, and a period that only continues the previous period's
+  // page emits no switch events — its page proof is vacuously true, which
+  // is only sound when "looked up last period" implies "still resident"
+  // (false for e.g. huge1g on a platform whose 1 GiB bank holds no
+  // entries).
+  if (!fast_path_ || sink_.ctx != nullptr || !paging_.identity() ||
       l1d_.geometry().line_bytes != 64) {
     replay_pattern(slots, count, periods);
     return;

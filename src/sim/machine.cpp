@@ -20,14 +20,15 @@ Placement place(const ProcessorSpec& spec, unsigned tid) {
 
 tlb::Tlb::Config slice_tlb(const tlb::Tlb::Config& cfg, unsigned sharers) {
   return tlb::Tlb::Config{cfg.name, cfg.small4k.shared_slice(sharers),
-                          cfg.large2m.shared_slice(sharers)};
+                          cfg.large2m.shared_slice(sharers),
+                          cfg.huge1g.shared_slice(sharers)};
 }
 
 }  // namespace
 
 Machine::Machine(ProcessorSpec spec, CostModel cost,
                  const mem::AddressSpace& space, unsigned nthreads,
-                 std::uint64_t seed)
+                 std::uint64_t seed, const paging::PolicySpec& paging)
     : spec_(std::move(spec)), cost_(cost) {
   LPOMP_CHECK_MSG(nthreads >= 1, "machine needs at least one thread");
   LPOMP_CHECK_MSG(nthreads <= spec_.total_contexts(),
@@ -63,6 +64,8 @@ Machine::Machine(ProcessorSpec spec, CostModel cost,
         spec_.l1d.shared_slice(core_sharers),
         spec_.l2.shared_slice(l2_sharers), seed + 0x9e37 * (t + 1));
     threads_.back().set_active_threads(nthreads);
+    if (!paging.is_native()) threads_.back().set_paging(paging);
+    if (spec_.pwc.present()) threads_.back().set_pwc(spec_.pwc);
   }
   region_start_.resize(nthreads);
 }

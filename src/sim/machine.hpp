@@ -41,9 +41,12 @@ class Machine {
   /// Builds a machine running `nthreads` simulated application threads.
   /// `space` holds the application's simulated memory; it must outlive the
   /// machine. Throws std::logic_error if nthreads exceeds the platform's
-  /// hardware contexts.
+  /// hardware contexts. `paging` installs a translation overlay on every
+  /// thread (default: the identity native policy); the spec's PWC config,
+  /// if present, is installed likewise.
   Machine(ProcessorSpec spec, CostModel cost, const mem::AddressSpace& space,
-          unsigned nthreads, std::uint64_t seed = 0x5eedULL);
+          unsigned nthreads, std::uint64_t seed = 0x5eedULL,
+          const paging::PolicySpec& paging = {});
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -13,7 +13,9 @@ ThreadCounters& ThreadCounters::operator+=(const ThreadCounters& o) {
   dtlb_l2_hits += o.dtlb_l2_hits;
   dtlb_walks[0] += o.dtlb_walks[0];
   dtlb_walks[1] += o.dtlb_walks[1];
+  dtlb_walks[2] += o.dtlb_walks[2];
   walk_levels += o.walk_levels;
+  pwc_hits += o.pwc_hits;
   itlb_lookups += o.itlb_lookups;
   itlb_misses += o.itlb_misses;
   prefetch_covered += o.prefetch_covered;
@@ -33,7 +35,9 @@ ThreadCounters ThreadCounters::minus(const ThreadCounters& o) const {
   d.dtlb_l2_hits = dtlb_l2_hits - o.dtlb_l2_hits;
   d.dtlb_walks[0] = dtlb_walks[0] - o.dtlb_walks[0];
   d.dtlb_walks[1] = dtlb_walks[1] - o.dtlb_walks[1];
+  d.dtlb_walks[2] = dtlb_walks[2] - o.dtlb_walks[2];
   d.walk_levels = walk_levels - o.walk_levels;
+  d.pwc_hits = pwc_hits - o.pwc_hits;
   d.itlb_lookups = itlb_lookups - o.itlb_lookups;
   d.itlb_misses = itlb_misses - o.itlb_misses;
   d.prefetch_covered = prefetch_covered - o.prefetch_covered;
@@ -64,8 +68,8 @@ void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
   bool long_stall = false;
 
   // --- address translation --------------------------------------------------
-  const vpn_t vpn = addr >> page_shift(kind);
-  switch (tlbs_.data_access(vpn, kind)) {
+  const paging::Translation tr = paging_.translate(addr, kind);
+  switch (tlbs_.data_access(tr.vpn, tr.kind)) {
     case tlb::DtlbHit::l1:
       break;
     case tlb::DtlbHit::l2:
@@ -75,17 +79,29 @@ void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
       break;
     case tlb::DtlbHit::walk: {
       ++c.dtlb_l1_misses;
-      ++c.dtlb_walks[static_cast<std::size_t>(kind)];
-      const mem::WalkResult walk = space_->translate(addr);
-      LPOMP_CHECK_MSG(walk.present, "simulated access to unmapped address");
-      LPOMP_CHECK_MSG(walk.kind == kind,
-                      "page-kind mismatch between region and page table");
-      c.walk_levels += walk.levels_touched;
+      ++c.dtlb_walks[static_cast<std::size_t>(tr.kind)];
+      // The policy-adjusted walk consults the real page table (asserting
+      // the address is mapped with the region's layout kind) and yields
+      // the effective depth — e.g. exactly 2 levels for a huge1g leaf.
+      const mem::WalkResult walk = paging_.walk(*space_, addr, kind, tr.kind);
+      // A page-walk cache lets the walker start below the root: levels at
+      // and above the deepest cached interior entry are PWC reads, not
+      // memory references. Absent (the 2007 platforms), first stays 0.
+      unsigned first = 0;
+      tlb::Pwc& pwc = tlbs_.pwc();
+      if (pwc.present() && walk.levels_touched > 1) {
+        const int d = pwc.deepest_cached(addr, walk.levels_touched - 1);
+        if (d >= 0) {
+          first = static_cast<unsigned>(d) + 1;
+          c.pwc_hits += first;
+        }
+      }
+      c.walk_levels += walk.levels_touched - first;
       // The hardware walker loads each level's entry through the data
       // caches: neighbouring translations share PTE lines (8 entries per
       // 64 B line), so sequential streams walk cheaply while scattered
       // access patterns pay real memory latency for cold table entries.
-      for (unsigned l = 0; l < walk.levels_touched; ++l) {
+      for (unsigned l = first; l < walk.levels_touched; ++l) {
         c.stall_cycles += cm_->walk_level_stall;
         const vaddr_t pte = walk.entry_addr[l];
         if (l1d_.access(pte, false)) continue;
@@ -94,6 +110,9 @@ void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
         } else {
           c.stall_cycles += contended_mem_stall_;
         }
+      }
+      if (pwc.present() && walk.levels_touched > 1) {
+        pwc.insert(addr, walk.levels_touched - 1);
       }
       // A full TLB miss drains the pipeline long enough to evict the thread
       // context on flush-style SMT (paper §3.2, "memory load stalls
@@ -115,7 +134,7 @@ void ThreadSim::touch_impl(vaddr_t addr, PageKind kind, Access access) {
       // The hardware stream prefetcher hides sequential-line misses within
       // a page; the first line of every new page — and any non-unit-stride
       // access — pays the full (contended) DRAM latency.
-      if (prefetcher_covers(addr >> 6, addr >> page_shift(kind))) {
+      if (prefetcher_covers(addr >> 6, tr.vpn)) {
         ++c.prefetch_covered;
         c.stall_cycles += cm_->prefetched_stall;
       } else {
@@ -203,11 +222,14 @@ void ThreadSim::run_elems(vaddr_t addr, std::uint64_t n, std::int64_t stride,
 
     // Both preconditions are checked before anything is applied, so a
     // failed check costs nothing and the slow path resumes exactly where
-    // the bulk would have started.
-    if (!tlbs_.data_mru_hit(a >> page_shift(kind), kind) || !l1d_.mru_hit(a)) {
+    // the bulk would have started. A 64-byte line sits inside one 4 KB
+    // page, so every follower shares the lead's effective translation
+    // under any paging policy.
+    const paging::Translation tr = paging_.translate(a, kind);
+    if (!tlbs_.data_mru_hit(tr.vpn, tr.kind) || !l1d_.mru_hit(a)) {
       continue;
     }
-    credit_line_run(f, kind, is_store);
+    credit_line_run(f, tr.kind, is_store);
     i += f;
   }
 }

@@ -25,6 +25,7 @@
 
 #include "cache/cache.hpp"
 #include "mem/address_space.hpp"
+#include "paging/policy.hpp"
 #include "sim/block_summary.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/replay_slot.hpp"
@@ -46,15 +47,18 @@ struct ThreadCounters {
   count_t l2d_misses = 0;            ///< misses to memory
   count_t dtlb_l1_misses = 0;
   count_t dtlb_l2_hits = 0;
-  count_t dtlb_walks[2] = {0, 0};    ///< full DTLB misses, by PageKind
+  count_t dtlb_walks[kPageKindCount] = {0, 0, 0};  ///< full DTLB misses, by PageKind
   count_t walk_levels = 0;           ///< page-table levels traversed
+  count_t pwc_hits = 0;              ///< walk levels skipped via the PWC
   count_t itlb_lookups = 0;
   count_t itlb_misses = 0;
   count_t prefetch_covered = 0;      ///< L2 misses hidden by the stream prefetcher
   count_t long_stalls = 0;           ///< uncovered L2-miss or page-walk events
 
   cycles_t total_cycles() const { return exec_cycles + stall_cycles; }
-  count_t dtlb_walk_total() const { return dtlb_walks[0] + dtlb_walks[1]; }
+  count_t dtlb_walk_total() const {
+    return dtlb_walks[0] + dtlb_walks[1] + dtlb_walks[2];
+  }
 
   ThreadCounters& operator+=(const ThreadCounters& o);
   /// Element-wise difference (for region deltas); *this must dominate o.
@@ -152,6 +156,20 @@ class ThreadSim {
     contended_mem_stall_ = cm_->contended_mem_stall(n);
   }
 
+  /// Install a paging-policy overlay (see paging/policy.hpp). The default
+  /// native overlay is the identity and reproduces pre-policy behaviour
+  /// bit-for-bit. Applies to data translations only; the instruction stream
+  /// keeps the code region's layout kind (code placement is an explicit
+  /// experiment axis already, and the paper's ITLB story is about code
+  /// pages, not policy).
+  void set_paging(const paging::PolicySpec& spec) {
+    paging_ = paging::PagingModel(spec);
+  }
+  const paging::PagingModel& paging() const { return paging_; }
+
+  /// Install (or remove) the page-walk cache on this thread's hierarchy.
+  void set_pwc(const tlb::PwcConfig& config) { tlbs_.set_pwc(config); }
+
   /// Enable/disable the batched fast path on this thread. Off = the naive
   /// per-event reference configuration: every entry point degrades to a
   /// touch_impl loop. Counters are identical either way (the invariant the
@@ -192,11 +210,12 @@ class ThreadSim {
   /// TLB MRU hit returns DtlbHit::l1, the cache MRU hit returns true, no
   /// long stall, and the jump counter just decrements).
   void account_one(vaddr_t addr, PageKind kind, Access access) {
-    if (fast_path_ && (jump_period_ == 0 || until_jump_ > 1) &&
-        tlbs_.data_mru_hit(addr >> page_shift(kind), kind) &&
-        l1d_.mru_hit(addr)) {
-      credit_line_run(1, kind, access == Access::store);
-      return;
+    if (fast_path_ && (jump_period_ == 0 || until_jump_ > 1)) {
+      const paging::Translation tr = paging_.translate(addr, kind);
+      if (tlbs_.data_mru_hit(tr.vpn, tr.kind) && l1d_.mru_hit(addr)) {
+        credit_line_run(1, tr.kind, access == Access::store);
+        return;
+      }
     }
     touch_impl(addr, kind, access);
   }
@@ -251,6 +270,7 @@ class ThreadSim {
 
   const CostModel* cm_;
   const mem::AddressSpace* space_;
+  paging::PagingModel paging_;  ///< translation overlay; identity by default
   tlb::TlbHierarchy tlbs_;
   cache::Cache l1d_;
   cache::Cache l2_;

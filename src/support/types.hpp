@@ -28,21 +28,38 @@ using count_t = std::uint64_t;
 
 inline constexpr std::size_t kSmallPageShift = 12;           // 4 KB
 inline constexpr std::size_t kLargePageShift = 21;           // 2 MB
+inline constexpr std::size_t kHugePageShift1G = 30;          // 1 GiB
 inline constexpr std::size_t kSmallPageSize = std::size_t{1} << kSmallPageShift;
 inline constexpr std::size_t kLargePageSize = std::size_t{1} << kLargePageShift;
+inline constexpr std::size_t kHugePageSize1G = std::size_t{1} << kHugePageShift1G;
 
 inline constexpr std::size_t KiB(std::size_t n) { return n << 10; }
 inline constexpr std::size_t MiB(std::size_t n) { return n << 20; }
 inline constexpr std::size_t GiB(std::size_t n) { return n << 30; }
 
-/// Page size class of a mapping or a TLB entry.
+/// Page size class of a mapping or a TLB entry. Memory *layouts* (mapped
+/// regions, recorded traces) only ever use the paper's two kinds; huge1g
+/// exists as a translation/TLB entry kind produced by the paging-policy
+/// overlay (paging::PagingModel) and by 1 GiB TLB banks on modern
+/// geometries.
 enum class PageKind : std::uint8_t {
   small4k = 0,  ///< traditional 4 KB page
   large2m = 1,  ///< x86-64 2 MB "huge"/"super" page
+  huge1g = 2,   ///< x86-64 1 GiB page (PUD-level leaf)
 };
 
+inline constexpr std::size_t kPageKindCount = 3;
+
 inline constexpr std::size_t page_shift(PageKind k) {
-  return k == PageKind::small4k ? kSmallPageShift : kLargePageShift;
+  switch (k) {
+    case PageKind::small4k:
+      return kSmallPageShift;
+    case PageKind::large2m:
+      return kLargePageShift;
+    case PageKind::huge1g:
+      return kHugePageShift1G;
+  }
+  return kSmallPageShift;
 }
 
 inline constexpr std::size_t page_size(PageKind k) {
@@ -50,7 +67,15 @@ inline constexpr std::size_t page_size(PageKind k) {
 }
 
 inline constexpr const char* page_kind_name(PageKind k) {
-  return k == PageKind::small4k ? "4KB" : "2MB";
+  switch (k) {
+    case PageKind::small4k:
+      return "4KB";
+    case PageKind::large2m:
+      return "2MB";
+    case PageKind::huge1g:
+      return "1GB";
+  }
+  return "4KB";
 }
 
 /// Kind of a memory reference fed to the simulator.

@@ -18,6 +18,7 @@ Tlb::Tlb(Config config) : config_(std::move(config)) {
   };
   init_bank(bank4k_, config_.small4k);
   init_bank(bank2m_, config_.large2m);
+  init_bank(bank1g_, config_.huge1g);
 }
 
 bool Tlb::lookup_assoc(Bank& b, vpn_t vpn) {
@@ -143,7 +144,7 @@ unsigned Tlb::occupancy(PageKind kind) const {
 }
 
 void Tlb::flush() {
-  for (Bank* b : {&bank4k_, &bank2m_}) {
+  for (Bank* b : {&bank4k_, &bank2m_, &bank1g_}) {
     for (Entry& e : b->entries) e.valid = false;
     b->mru_valid = false;
   }

@@ -70,6 +70,9 @@ class Tlb {
     std::string name;
     TlbGeometry small4k;
     TlbGeometry large2m;
+    /// 1 GiB entries. Absent ({0,0}) on the paper's 2007 platforms; modern
+    /// geometries dedicate a handful of entries to 1 GiB translations.
+    TlbGeometry huge1g;
   };
 
   explicit Tlb(Config config);
@@ -160,20 +163,31 @@ class Tlb {
   unsigned occupancy(PageKind kind) const;
 
   const TlbGeometry& geometry(PageKind kind) const {
-    return kind == PageKind::small4k ? config_.small4k : config_.large2m;
+    switch (kind) {
+      case PageKind::small4k:
+        return config_.small4k;
+      case PageKind::large2m:
+        return config_.large2m;
+      case PageKind::huge1g:
+        return config_.huge1g;
+    }
+    return config_.small4k;
   }
   const std::string& name() const { return config_.name; }
 
   struct Stats {
-    count_t lookups[2] = {0, 0};  ///< indexed by PageKind
-    count_t hits[2] = {0, 0};
+    count_t lookups[kPageKindCount] = {0, 0, 0};  ///< indexed by PageKind
+    count_t hits[kPageKindCount] = {0, 0, 0};
     count_t misses(PageKind k) const {
       const auto i = static_cast<std::size_t>(k);
       return lookups[i] - hits[i];
     }
-    count_t total_lookups() const { return lookups[0] + lookups[1]; }
+    count_t total_lookups() const {
+      return lookups[0] + lookups[1] + lookups[2];
+    }
     count_t total_misses() const {
-      return misses(PageKind::small4k) + misses(PageKind::large2m);
+      return misses(PageKind::small4k) + misses(PageKind::large2m) +
+             misses(PageKind::huge1g);
     }
   };
   const Stats& stats() const { return stats_; }
@@ -207,10 +221,26 @@ class Tlb {
   };
 
   Bank& bank(PageKind kind) {
-    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+    switch (kind) {
+      case PageKind::small4k:
+        return bank4k_;
+      case PageKind::large2m:
+        return bank2m_;
+      case PageKind::huge1g:
+        return bank1g_;
+    }
+    return bank4k_;
   }
   const Bank& bank(PageKind kind) const {
-    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+    switch (kind) {
+      case PageKind::small4k:
+        return bank4k_;
+      case PageKind::large2m:
+        return bank2m_;
+      case PageKind::huge1g:
+        return bank1g_;
+    }
+    return bank4k_;
   }
 
   bool lookup_assoc(Bank& b, vpn_t vpn);
@@ -219,6 +249,7 @@ class Tlb {
   Config config_;
   Bank bank4k_;
   Bank bank2m_;
+  Bank bank1g_;
   std::uint64_t clock_ = 0;  // LRU timestamp source
   Stats stats_;
 };

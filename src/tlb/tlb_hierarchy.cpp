@@ -34,13 +34,15 @@ void TlbHierarchy::flush_all() {
   itlb_.flush();
   l1d_.flush();
   if (l2d_) l2d_->flush();
+  pwc_.flush();
 }
 
 void TlbHierarchy::reset_stats() {
   itlb_.reset_stats();
   l1d_.reset_stats();
   if (l2d_) l2d_->reset_stats();
-  walks_[0] = walks_[1] = 0;
+  pwc_.reset_stats();
+  walks_[0] = walks_[1] = walks_[2] = 0;
 }
 
 }  // namespace lpomp::tlb

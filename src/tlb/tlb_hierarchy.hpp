@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "tlb/pwc.hpp"
 #include "tlb/tlb.hpp"
 
 namespace lpomp::tlb {
@@ -76,12 +77,19 @@ class TlbHierarchy {
     return *l2d_;
   }
 
+  /// Installs (or removes, with an absent config) the page-walk cache.
+  /// Lives here rather than in ThreadSim so flush_all() — the context-switch
+  /// model — covers it like every other translation structure.
+  void set_pwc(const PwcConfig& config) { pwc_ = Pwc(config); }
+  Pwc& pwc() { return pwc_; }
+  const Pwc& pwc() const { return pwc_; }
+
   /// Misses that required a page walk (per page kind), i.e. the events
   /// OProfile counts as "L1 and L2 DTLB miss" in the paper's Figure 5.
   count_t walk_count(PageKind kind) const {
     return walks_[static_cast<std::size_t>(kind)];
   }
-  count_t walk_count() const { return walks_[0] + walks_[1]; }
+  count_t walk_count() const { return walks_[0] + walks_[1] + walks_[2]; }
 
   count_t itlb_miss_count() const {
     return itlb_.stats().misses(PageKind::small4k) +
@@ -97,7 +105,8 @@ class TlbHierarchy {
   Tlb itlb_;
   Tlb l1d_;
   std::optional<Tlb> l2d_;
-  count_t walks_[2] = {0, 0};
+  Pwc pwc_;  ///< absent by default; see set_pwc()
+  count_t walks_[kPageKindCount] = {0, 0, 0};
 };
 
 }  // namespace lpomp::tlb

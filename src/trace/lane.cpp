@@ -51,7 +51,8 @@ std::size_t LaneSet::add_lane(const ReplayConfig& cfg) {
                      " threads exceed hardware contexts of " + cfg.spec.name);
   }
   auto machine = std::make_unique<sim::Machine>(
-      cfg.spec, cfg.cost, substrate_->space(), nthreads_, cfg.seed);
+      cfg.spec, cfg.cost, substrate_->space(), nthreads_, cfg.seed,
+      cfg.paging);
 
   const npb::Kernel kernel = substrate_->kernel();
   const npb::CodeModel cm = npb::code_model(kernel);

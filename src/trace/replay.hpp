@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "paging/policy.hpp"
 #include "prof/profile.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/processor_spec.hpp"
@@ -29,6 +30,11 @@ struct ReplayConfig {
   sim::CostModel cost;
   std::uint64_t seed = 0x5eedULL;
   PageKind code_page_kind = PageKind::small4k;
+
+  /// Paging-policy overlay for this lane's simulator. Streams are recorded
+  /// against the layout, not the policy, so one recorded trace replays
+  /// under any policy — the policy rides here, per lane.
+  paging::PolicySpec paging{};
 
   /// Use the analytic fast-forward tier for this lane when a compiled
   /// TracePlan is supplied (plan-less replays always interpret). Purely an

@@ -32,26 +32,31 @@
 
 #include "cache/cache.hpp"
 #include "mem/address_space.hpp"
+#include "mem/page_table.hpp"
+#include "paging/policy.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/thread_sim.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/types.hpp"
+#include "tlb/pwc.hpp"
 #include "tlb/tlb.hpp"
 
 namespace lpomp::oracle {
 
-/// One TLB level, naive: two banks (4 KB / 2 MB), true LRU by per-set scan.
+/// One TLB level, naive: three banks (4 KB / 2 MB / 1 GiB), true LRU by
+/// per-set scan.
 class RefTlb {
  public:
   struct Stats {
-    count_t lookups[2] = {0, 0};
-    count_t hits[2] = {0, 0};
+    count_t lookups[kPageKindCount] = {0, 0, 0};
+    count_t hits[kPageKindCount] = {0, 0, 0};
   };
 
   explicit RefTlb(const tlb::Tlb::Config& cfg) {
     init_bank(bank4k_, cfg.small4k);
     init_bank(bank2m_, cfg.large2m);
+    init_bank(bank1g_, cfg.huge1g);
   }
 
   bool supports(PageKind kind) const { return bank(kind).geom.present(); }
@@ -97,7 +102,7 @@ class RefTlb {
   }
 
   void flush() {
-    for (Bank* b : {&bank4k_, &bank2m_}) {
+    for (Bank* b : {&bank4k_, &bank2m_, &bank1g_}) {
       for (Entry& e : b->entries) e.valid = false;
     }
   }
@@ -130,16 +135,113 @@ class RefTlb {
   }
 
   Bank& bank(PageKind kind) {
-    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+    if (kind == PageKind::small4k) return bank4k_;
+    return kind == PageKind::large2m ? bank2m_ : bank1g_;
   }
   const Bank& bank(PageKind kind) const {
-    return kind == PageKind::small4k ? bank4k_ : bank2m_;
+    if (kind == PageKind::small4k) return bank4k_;
+    return kind == PageKind::large2m ? bank2m_ : bank1g_;
   }
 
   Bank bank4k_;
   Bank bank2m_;
+  Bank bank1g_;
   std::uint64_t clock_ = 0;  // shared across banks, like the production Tlb
   Stats stats_;
+};
+
+/// Naive page-walk cache: one flat tag list per interior level, true LRU by
+/// whole-level scan inside the set, stamp on hit. Mirrors tlb::Pwc
+/// observation-for-observation: same set mapping (tag mod sets), same
+/// deepest-first probe order, same clock shared across levels, and the same
+/// stamp sequence (a probe stamps only the level that hits; an install
+/// restamps levels root-first).
+class RefPwc {
+ public:
+  RefPwc() = default;
+  explicit RefPwc(const tlb::PwcConfig& config) : config_(config) {
+    if (!config_.present()) return;
+    LPOMP_CHECK(config_.ways > 0 && config_.entries % config_.ways == 0);
+    sets_ = config_.entries / config_.ways;
+    for (auto& level : levels_) level.assign(config_.entries, Entry{});
+  }
+
+  bool present() const { return config_.present(); }
+
+  int deepest_cached(vaddr_t addr, unsigned interior_levels) {
+    ++stats_.lookups;
+    for (int l = static_cast<int>(interior_levels) - 1; l >= 0; --l) {
+      const std::uint64_t t = tag(addr, static_cast<unsigned>(l));
+      Entry* base = set_base(static_cast<unsigned>(l), t);
+      for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == t) {
+          base[w].last_use = ++clock_;
+          ++stats_.hits;
+          return l;
+        }
+      }
+    }
+    return -1;
+  }
+
+  void insert(vaddr_t addr, unsigned interior_levels) {
+    for (unsigned l = 0; l < interior_levels; ++l) {
+      const std::uint64_t t = tag(addr, l);
+      Entry* base = set_base(l, t);
+      Entry* victim = &base[0];
+      bool found = false;
+      for (unsigned w = 0; w < config_.ways; ++w) {
+        Entry& e = base[w];
+        if (e.valid && e.tag == t) {
+          e.last_use = ++clock_;
+          found = true;
+          break;
+        }
+        if (!e.valid) {
+          victim = &e;
+          break;
+        }
+        if (e.last_use < victim->last_use) victim = &e;
+      }
+      if (found) continue;
+      victim->valid = true;
+      victim->tag = t;
+      victim->last_use = ++clock_;
+    }
+  }
+
+  void flush() {
+    for (auto& level : levels_) {
+      for (Entry& e : level) e.valid = false;
+    }
+  }
+
+  const tlb::Pwc::Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  static std::uint64_t tag(vaddr_t addr, unsigned l) {
+    const unsigned shift =
+        static_cast<unsigned>(kSmallPageShift) +
+        mem::PageTable::kBitsPerLevel * (mem::PageTable::kLevels - 1 - l);
+    return addr >> shift;
+  }
+
+  Entry* set_base(unsigned l, std::uint64_t t) {
+    const unsigned set = static_cast<unsigned>(t % sets_);
+    return &levels_[l][static_cast<std::size_t>(set) * config_.ways];
+  }
+
+  tlb::PwcConfig config_;
+  unsigned sets_ = 0;
+  std::vector<Entry> levels_[mem::PageTable::kLevels - 1];
+  std::uint64_t clock_ = 0;
+  tlb::Pwc::Stats stats_;
 };
 
 /// Set-associative cache, naive: per-set scan, stamp on every hit.
@@ -238,12 +340,17 @@ class RefTlbHierarchy {
     itlb_.flush();
     l1d_.flush();
     if (l2d_) l2d_->flush();
+    pwc_.flush();
   }
+
+  void set_pwc(const tlb::PwcConfig& config) { pwc_ = RefPwc(config); }
 
   const RefTlb& itlb() const { return itlb_; }
   const RefTlb& l1d() const { return l1d_; }
   bool has_l2d() const { return l2d_.has_value(); }
   const RefTlb& l2d() const { return *l2d_; }
+  RefPwc& pwc() { return pwc_; }
+  const RefPwc& pwc() const { return pwc_; }
   count_t walk_count(PageKind kind) const {
     return walks_[static_cast<std::size_t>(kind)];
   }
@@ -252,7 +359,8 @@ class RefTlbHierarchy {
   RefTlb itlb_;
   RefTlb l1d_;
   std::optional<RefTlb> l2d_;
-  count_t walks_[2] = {0, 0};
+  RefPwc pwc_;
+  count_t walks_[kPageKindCount] = {0, 0, 0};
 };
 
 /// The reference thread simulator: sim::ThreadSim::touch_impl transliterated
@@ -281,8 +389,8 @@ class RefThreadSim {
 
     bool long_stall = false;
 
-    const vpn_t vpn = addr >> page_shift(kind);
-    switch (tlbs_.data_access(vpn, kind)) {
+    const paging::Translation tr = paging_.translate(addr, kind);
+    switch (tlbs_.data_access(tr.vpn, tr.kind)) {
       case tlb::DtlbHit::l1:
         break;
       case tlb::DtlbHit::l2:
@@ -292,12 +400,19 @@ class RefThreadSim {
         break;
       case tlb::DtlbHit::walk: {
         ++c.dtlb_l1_misses;
-        ++c.dtlb_walks[static_cast<std::size_t>(kind)];
-        const mem::WalkResult walk = space_->translate(addr);
-        LPOMP_CHECK_MSG(walk.present, "reference access to unmapped address");
-        LPOMP_CHECK_MSG(walk.kind == kind, "reference page-kind mismatch");
-        c.walk_levels += walk.levels_touched;
-        for (unsigned l = 0; l < walk.levels_touched; ++l) {
+        ++c.dtlb_walks[static_cast<std::size_t>(tr.kind)];
+        const mem::WalkResult walk = paging_.walk(*space_, addr, kind, tr.kind);
+        unsigned first = 0;
+        RefPwc& pwc = tlbs_.pwc();
+        if (pwc.present() && walk.levels_touched > 1) {
+          const int d = pwc.deepest_cached(addr, walk.levels_touched - 1);
+          if (d >= 0) {
+            first = static_cast<unsigned>(d) + 1;
+            c.pwc_hits += first;
+          }
+        }
+        c.walk_levels += walk.levels_touched - first;
+        for (unsigned l = first; l < walk.levels_touched; ++l) {
           c.stall_cycles += cm_->walk_level_stall;
           const vaddr_t pte = walk.entry_addr[l];
           if (l1d_.access(pte, false)) continue;
@@ -306,6 +421,9 @@ class RefThreadSim {
           } else {
             c.stall_cycles += contended_mem_stall_;
           }
+        }
+        if (pwc.present() && walk.levels_touched > 1) {
+          pwc.insert(addr, walk.levels_touched - 1);
         }
         long_stall = true;
         break;
@@ -320,7 +438,7 @@ class RefThreadSim {
         c.stall_cycles += cm_->l2_hit_stall;
       } else {
         ++c.l2d_misses;
-        if (prefetcher_covers(addr >> 6, addr >> page_shift(kind))) {
+        if (prefetcher_covers(addr >> 6, tr.vpn)) {
           ++c.prefetch_covered;
           c.stall_cycles += cm_->prefetched_stall;
         } else {
@@ -368,6 +486,12 @@ class RefThreadSim {
   void set_active_threads(unsigned n) {
     contended_mem_stall_ = cm_->contended_mem_stall(n);
   }
+
+  void set_paging(const paging::PolicySpec& spec) {
+    paging_ = paging::PagingModel(spec);
+  }
+
+  void set_pwc(const tlb::PwcConfig& config) { tlbs_.set_pwc(config); }
 
   void flush_tlbs() { tlbs_.flush_all(); }
 
@@ -427,6 +551,7 @@ class RefThreadSim {
 
   const sim::CostModel* cm_;
   const mem::AddressSpace* space_;
+  paging::PagingModel paging_;
   RefTlbHierarchy tlbs_;
   RefCache l1d_;
   RefCache l2_;

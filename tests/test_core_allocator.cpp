@@ -108,8 +108,8 @@ TEST_F(AllocatorTest, InstrumentedAccessorReportsTraffic) {
   SharedArray<double> arr(alloc, 16, "inst");
 
   sim::CostModel cm;
-  sim::ThreadSim sim(cm, space_, {"i", {8, 8}, {2, 2}},
-                     {"d", {8, 8}, {2, 2}}, std::nullopt, {KiB(4), 64, 2},
+  sim::ThreadSim sim(cm, space_, {"i", {8, 8}, {2, 2}, {0, 0}},
+                     {"d", {8, 8}, {2, 2}, {0, 0}}, std::nullopt, {KiB(4), 64, 2},
                      {KiB(64), 64, 4}, 1);
   Accessor<double> view = arr.accessor(&sim);
   EXPECT_TRUE(view.instrumented());

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "exec/engine.hpp"
+#include "paging/policy.hpp"
 #include "sim/thread_sim.hpp"
 
 #ifndef LPOMP_GOLDEN_DIR
@@ -58,9 +59,22 @@ std::string deterministic_json(const SweepResult& result) {
   return result.to_json(/*include_host=*/false);
 }
 
+/// The paging axis the golden grids sweep: identity plus the two policies
+/// with the most distinctive counter signatures (1 GiB's two-level walks,
+/// THP's seed-keyed per-chunk promotion mix).
+std::vector<paging::PolicySpec> golden_paging_axis() {
+  paging::PolicySpec native;
+  paging::PolicySpec huge1g;
+  huge1g.policy = paging::Policy::huge1g;
+  paging::PolicySpec thp;
+  thp.policy = paging::Policy::thp;
+  return {native, huge1g, thp};
+}
+
 TEST(GoldenFigures, Figure4SmallClass) {
   SweepSpec spec = SweepSpec::figure4(npb::Klass::S);
   spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
+  spec.paging_policies = golden_paging_axis();
   ExperimentEngine engine({.workers = 2});
   const SweepResult result = engine.run(spec);
   ASSERT_EQ(result.failed(), 0u);
@@ -71,6 +85,7 @@ TEST(GoldenFigures, Figure4SmallClass) {
 TEST(GoldenFigures, Figure5SmallClass) {
   SweepSpec spec = SweepSpec::figure5(npb::Klass::S, /*threads=*/4);
   spec.kernels = {npb::Kernel::CG, npb::Kernel::MG};
+  spec.paging_policies = golden_paging_axis();
   ExperimentEngine engine({.workers = 2});
   const SweepResult result = engine.run(spec);
   ASSERT_EQ(result.failed(), 0u);

@@ -4,11 +4,14 @@
 // service on the same store directory serves the identical grid from disk.
 // The deterministic response section is byte-compared across all three, the
 // comparison the CI smoke job repeats over real processes.
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 
@@ -305,4 +308,129 @@ TEST(ServeService, DaemonErrorResponse) {
 TEST(ServeService, NoDaemonIsCleanFailure) {
   EXPECT_THROW(serve::SweepClient client(shm_name("absent")),
                serve::RingError);
+}
+
+// The stats request is a distinct wire marker, never confusable with a
+// sweep request, and its response wraps the daemon's stats document.
+TEST(ServeWire, StatsRequestMarker) {
+  EXPECT_TRUE(serve::is_stats_request(serve::encode_stats_request()));
+  EXPECT_FALSE(
+      serve::is_stats_request(serve::encode_request(small_request())));
+  const exec::JsonValue doc =
+      exec::json_parse(serve::encode_stats_response("{\"x\":1}"));
+  EXPECT_EQ(doc.at("schema").as_string(), "lpomp-serve-v1");
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_EQ(doc.at("stats").at("x").as_uint64(), 1u);
+}
+
+// Stats round trip against a live daemon: after one sweep the telemetry a
+// client reads over the ring reports that request and a nonzero admission
+// peak — the probe `sweep_all --shm=` uses for admission_queue_depth_peak.
+TEST(ServeService, StatsRoundTrip) {
+  const std::string name = shm_name("stats");
+
+  serve::SweepService::Config cfg;
+  cfg.shm_name = name;
+  cfg.scheduler.workers = 2;
+
+  serve::SweepService service(cfg);
+  ServerThread server(service);
+  serve::SweepClient client(name);
+
+  client.submit(small_request());
+  const exec::JsonValue doc = exec::json_parse(client.stats());
+  EXPECT_EQ(doc.at("schema").as_string(), "lpomp-serve-v1");
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  const exec::JsonValue& stats = doc.at("stats");
+  EXPECT_EQ(stats.at("schema").as_string(), "lpomp-serve-stats-v1");
+  EXPECT_EQ(stats.at("shm_name").as_string(), name);
+  EXPECT_GE(stats.at("requests").as_uint64(), 1u);
+  EXPECT_GE(stats.at("responses").as_uint64(), 1u);
+  EXPECT_GE(stats.at("queue_depth_peak").as_uint64(), 1u);
+  EXPECT_GT(stats.at("slots").as_uint64(), 0u);
+}
+
+// Two daemons in separate forked processes, each with its own ring, sharing
+// one DiskResultStore directory. Daemon A computes the grid cold; daemon B
+// — forked before A wrote anything — answers the same request purely from
+// the store A populated, proving the store is the cross-process source of
+// truth, not per-process state. Children _exit so gtest state is untouched.
+TEST(ServeService, TwoForkedDaemonsShareOneStore) {
+  TempDir store_dir;
+  const std::string names[2] = {shm_name("forkA"), shm_name("forkB")};
+  const std::filesystem::path done_flag[2] = {
+      std::filesystem::path(store_dir.path) / "done-A",
+      std::filesystem::path(store_dir.path) / "done-B"};
+
+  pid_t pids[2];
+  for (int i = 0; i < 2; ++i) {
+    pids[i] = ::fork();
+    ASSERT_GE(pids[i], 0);
+    if (pids[i] == 0) {
+      // Child: serve the ring until the parent drops the flag file.
+      try {
+        serve::SweepService::Config cfg;
+        cfg.shm_name = names[i];
+        cfg.scheduler.workers = 2;
+        cfg.scheduler.store_dir = store_dir.path;
+        serve::SweepService service(cfg);
+        while (!std::filesystem::exists(done_flag[i])) {
+          if (service.poll_once() == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        ::_exit(0);
+      } catch (...) {
+        ::_exit(2);
+      }
+    }
+  }
+
+  // The ring appears when the child daemon finishes constructing; retry
+  // briefly instead of racing it.
+  auto connect = [](const std::string& name) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      try {
+        return serve::SweepClient(name);
+      } catch (const serve::RingError&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  };
+
+  const serve::SweepRequest request = small_request();
+  std::string a, b;
+  {
+    serve::SweepClient client = connect(names[0]);
+    a = client.submit(request);
+  }
+  {
+    serve::SweepClient client = connect(names[1]);
+    b = client.submit(request);
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::ofstream(done_flag[i]) << "done";
+    int status = 0;
+    ASSERT_EQ(::waitpid(pids[i], &status, 0), pids[i]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "daemon child " << i << " failed: " << status;
+  }
+
+  const exec::JsonValue doc_a = exec::json_parse(a);
+  const exec::JsonValue doc_b = exec::json_parse(b);
+  // A computed everything and persisted it; B never simulated a point.
+  EXPECT_EQ(summary_counter(doc_a, "completed"), 4u);
+  EXPECT_EQ(summary_counter(doc_a, "store_insertions"), 4u);
+  EXPECT_EQ(summary_counter(doc_b, "completed"), 4u);
+  EXPECT_EQ(summary_counter(doc_b, "store_hits"), 4u);
+  EXPECT_EQ(summary_counter(doc_b, "store_insertions"), 0u);
+  // And the result bytes agree across processes.
+  const std::size_t det_a = a.find("\"deterministic\"");
+  const std::size_t det_b = b.find("\"deterministic\"");
+  ASSERT_NE(det_a, std::string::npos);
+  ASSERT_NE(det_b, std::string::npos);
+  EXPECT_EQ(a.substr(det_a), b.substr(det_b));
 }

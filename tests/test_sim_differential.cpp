@@ -46,6 +46,7 @@
 #include "mem/address_space.hpp"
 #include "npb/npb.hpp"
 #include "oracle/reference_sim.hpp"
+#include "paging/policy.hpp"
 #include "sim/block_summary.hpp"
 #include "sim/processor_spec.hpp"
 #include "sim/replay_slot.hpp"
@@ -87,7 +88,8 @@ struct Quad {
 
 tlb::Tlb::Config slice_tlb(const tlb::Tlb::Config& cfg, unsigned sharers) {
   return tlb::Tlb::Config{cfg.name, cfg.small4k.shared_slice(sharers),
-                          cfg.large2m.shared_slice(sharers)};
+                          cfg.large2m.shared_slice(sharers),
+                          cfg.huge1g.shared_slice(sharers)};
 }
 
 /// Builds a quartet with machine.cpp's sharing-sliced structures.
@@ -128,7 +130,9 @@ bool diff_counters(const sim::ThreadCounters& a, const sim::ThreadCounters& b,
   LPOMP_DIFF_FIELD(dtlb_l2_hits)
   LPOMP_DIFF_FIELD(dtlb_walks[0])
   LPOMP_DIFF_FIELD(dtlb_walks[1])
+  LPOMP_DIFF_FIELD(dtlb_walks[2])
   LPOMP_DIFF_FIELD(walk_levels)
+  LPOMP_DIFF_FIELD(pwc_hits)
   LPOMP_DIFF_FIELD(itlb_lookups)
   LPOMP_DIFF_FIELD(itlb_misses)
   LPOMP_DIFF_FIELD(prefetch_covered)
@@ -141,8 +145,18 @@ bool diff_tlb(const tlb::Tlb::Stats& a, const oracle::RefTlb::Stats& b,
   bool same = true;
   LPOMP_DIFF_FIELD(lookups[0])
   LPOMP_DIFF_FIELD(lookups[1])
+  LPOMP_DIFF_FIELD(lookups[2])
   LPOMP_DIFF_FIELD(hits[0])
   LPOMP_DIFF_FIELD(hits[1])
+  LPOMP_DIFF_FIELD(hits[2])
+  return same;
+}
+
+bool diff_pwc(const tlb::Pwc::Stats& a, const tlb::Pwc::Stats& b,
+              std::ostream& os) {
+  bool same = true;
+  LPOMP_DIFF_FIELD(lookups)
+  LPOMP_DIFF_FIELD(hits)
   return same;
 }
 
@@ -184,13 +198,19 @@ bool diff_cache(const cache::Cache::Stats& a, const oracle::RefCache::Stats& b,
       same &= diff_tlb(sim_ptr->tlbs().l2d().stats(),
                        t.ref.tlbs().l2d().stats(), os);
     }
-    for (PageKind k : {PageKind::small4k, PageKind::large2m}) {
+    for (PageKind k :
+         {PageKind::small4k, PageKind::large2m, PageKind::huge1g}) {
       if (sim_ptr->tlbs().walk_count(k) != t.ref.tlbs().walk_count(k)) {
         os << " [" << label << " walks(" << static_cast<int>(k)
            << ")=" << sim_ptr->tlbs().walk_count(k) << " vs "
            << t.ref.tlbs().walk_count(k) << "]";
         same = false;
       }
+    }
+    if (sim_ptr->tlbs().pwc().present()) {
+      os << " [" << label << " vs ref pwc]";
+      same &= diff_pwc(sim_ptr->tlbs().pwc().stats(),
+                       t.ref.tlbs().pwc().stats(), os);
     }
     os << " [" << label << " vs ref l1d]";
     same &= diff_cache(sim_ptr->l1d().stats(), t.ref.l1d().stats(), os);
@@ -221,10 +241,12 @@ struct Layout {
   }
 };
 
-void run_platform(const sim::ProcessorSpec& spec) {
+void run_platform(const sim::ProcessorSpec& spec,
+                  const paging::PolicySpec* policy = nullptr,
+                  int streams_override = 0) {
   const sim::CostModel cm;
   const std::uint64_t seed0 = base_seed();
-  const int streams = stream_count();
+  const int streams = streams_override > 0 ? streams_override : stream_count();
   Layout lay;
 
   // Two sharing variants per platform, sliced the way Machine slices them:
@@ -249,10 +271,14 @@ void run_platform(const sim::ProcessorSpec& spec) {
       s->attach_code(kCodeBase, kCodeSize, PageKind::small4k, jump_period,
                      0.15);
       s->set_active_threads(active[v]);
+      if (policy != nullptr) s->set_paging(*policy);
+      if (spec.pwc.present()) s->set_pwc(spec.pwc);
     }
     t.ref.attach_code(kCodeBase, kCodeSize, PageKind::small4k, jump_period,
                       0.15);
     t.ref.set_active_threads(active[v]);
+    if (policy != nullptr) t.ref.set_paging(*policy);
+    if (spec.pwc.present()) t.ref.set_pwc(spec.pwc);
   }
 
   // The analytic column: package the op as the pattern block the trace
@@ -500,7 +526,9 @@ void run_platform(const sim::ProcessorSpec& spec) {
 
     for (unsigned v = 0; v < 2; ++v) {
       ASSERT_TRUE(quad_converged(quads[v]))
-          << "platform=" << spec.name << " variant=" << v
+          << "platform=" << spec.name
+          << " policy=" << (policy != nullptr ? policy->name() : "native")
+          << " variant=" << v
           << " stream=" << stream << " stream_seed=0x" << std::hex << seed
           << " base_seed=0x" << seed0 << std::dec
           << " (rerun with LPOMP_DIFF_SEED=0x" << std::hex << seed0
@@ -520,6 +548,36 @@ TEST(SimDifferential, OpteronFastPathMatchesReference) {
 
 TEST(SimDifferential, XeonFastPathMatchesReference) {
   run_platform(sim::ProcessorSpec::xeon_ht());
+}
+
+// Paging-policy differential: the same randomized streams with a
+// non-identity translation overlay, on the PWC-bearing modern spec — so one
+// pass covers effective-kind rebanking, truncated/extended walks, the
+// page-walk cache, and the analytic tier's policy fallback. huge1g also
+// runs on the Opteron, whose 1 GiB L1 bank holds zero entries: every access
+// walks, the corner where a stale fast path once credited impossible hits.
+int policy_stream_count() {
+  if (const char* env = std::getenv("LPOMP_POLICY_STREAMS")) {
+    return std::atoi(env);
+  }
+  return 2000;
+}
+
+TEST(SimDifferential, PagingPoliciesMatchReference) {
+  const int streams = policy_stream_count();
+  for (paging::Policy p :
+       {paging::Policy::base4k, paging::Policy::hugetlb2m,
+        paging::Policy::huge1g, paging::Policy::thp}) {
+    paging::PolicySpec spec;
+    spec.policy = p;
+    run_platform(sim::ProcessorSpec::modern(), &spec, streams);
+  }
+}
+
+TEST(SimDifferential, Huge1gZeroCapacityBankMatchesReference) {
+  paging::PolicySpec spec;
+  spec.policy = paging::Policy::huge1g;
+  run_platform(sim::ProcessorSpec::opteron270(), &spec, policy_stream_count());
 }
 
 // --- lane identity ----------------------------------------------------------

@@ -17,9 +17,9 @@ class ThreadSimTest : public ::testing::Test {
   }
 
   ThreadSim make_sim() {
-    return ThreadSim(cm_, space_, {"itlb", {32, 32}, {8, 8}},
-                     {"l1d", {32, 32}, {8, 8}},
-                     tlb::Tlb::Config{"l2d", {512, 4}, {0, 0}},
+    return ThreadSim(cm_, space_, {"itlb", {32, 32}, {8, 8}, {0, 0}},
+                     {"l1d", {32, 32}, {8, 8}, {0, 0}},
+                     tlb::Tlb::Config{"l2d", {512, 4}, {0, 0}, {0, 0}},
                      {KiB(64), 64, 2}, {MiB(1), 64, 16}, 0x5eed);
   }
 
