@@ -71,11 +71,22 @@ inline npb::Klass klass_by_name(const std::string& name) {
   return npb::Klass::R;
 }
 
+/// Canonical comma-joined kernel list ("BT,CG,FT,SP,MG,GUPS,GT,PC") — the
+/// --kernels= default and the valid set shown on a parse error.
+inline std::string all_kernel_names() {
+  std::string names;
+  for (npb::Kernel k : npb::all_kernels()) {
+    if (!names.empty()) names += ',';
+    names += npb::kernel_name(k);
+  }
+  return names;
+}
+
 /// Parses --kernels= as an exact comma-separated list ("CG,FT"). Unknown or
 /// empty tokens abort with a clear message instead of being silently
 /// dropped; kernels run in canonical (all_kernels) order, deduplicated.
 inline std::vector<npb::Kernel> kernels_from(const Options& opts) {
-  const std::string list = opts.get("kernels", "BT,CG,FT,SP,MG");
+  const std::string list = opts.get("kernels", all_kernel_names());
   std::vector<bool> wanted(npb::all_kernels().size(), false);
   std::size_t start = 0;
   while (start <= list.size()) {
@@ -94,7 +105,7 @@ inline std::vector<npb::Kernel> kernels_from(const Options& opts) {
     }
     if (!known) {
       std::cerr << "unknown kernel '" << token << "' in --kernels=" << list
-                << " (valid: BT,CG,FT,SP,MG)\n";
+                << " (valid: " << all_kernel_names() << ")\n";
       std::exit(2);
     }
   }

@@ -1,6 +1,7 @@
 // One parallel invocation that reproduces every headline number of the
 // paper from a single engine sweep over the Figure 4 config grid
-// ({BT,CG,FT,SP,MG} × {Opteron, Xeon+HT} × {1,2,4,8}T × {4KB,2MB}):
+// ({BT,CG,FT,SP,MG,GUPS,GT,PC} × {Opteron, Xeon+HT} × {1,2,4,8}T ×
+// {4KB,2MB}):
 //
 //   * Figure 4 — run-time improvement from 2 MB pages per thread count;
 //   * Figure 5 — DTLB walk reduction at 4 threads on the Opteron (those

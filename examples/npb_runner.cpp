@@ -62,7 +62,10 @@ int main(int argc, char** argv) {
   for (npb::Kernel k : npb::all_kernels()) {
     if (which == npb::kernel_name(k)) return run_one(k, opts);
   }
-  std::cerr << "unknown kernel '" << which
-            << "' (expected BT, CG, FT, SP, MG or all)\n";
+  std::cerr << "unknown kernel '" << which << "' (expected";
+  for (npb::Kernel k : npb::all_kernels()) {
+    std::cerr << " " << npb::kernel_name(k) << ",";
+  }
+  std::cerr << " or all)\n";
   return 2;
 }

@@ -1,0 +1,155 @@
+#include "npb/gt.hpp"
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "core/parallel_for.hpp"
+#include "npb/irregular.hpp"
+#include "npb/params.hpp"
+
+namespace lpomp::npb {
+
+namespace {
+
+using core::ThreadCtx;
+using core::index_t;
+
+// Fixed kernel seed — part of the trace stream identity, never the task
+// seed (see irregular.hpp).
+constexpr std::uint64_t kGtSeed = 0x6C706F6D'47545256ULL;
+
+/// Host-side untimed BFS recompute over the same in-edge CSR: v is
+/// discovered by any u in col(v), i.e. the traversal graph has edges
+/// u -> v. Returns depth levels with root depth 1, 0 = unreached.
+std::vector<std::int32_t> reference_depths(const std::int64_t* rowptr,
+                                           const std::int32_t* col,
+                                           std::int64_t n) {
+  std::vector<std::vector<std::int32_t>> out(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t k = rowptr[v]; k < rowptr[v + 1]; ++k) {
+      out[static_cast<std::size_t>(col[k])].push_back(
+          static_cast<std::int32_t>(v));
+    }
+  }
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(n), 0);
+  std::queue<std::int32_t> q;
+  depth[0] = 1;
+  q.push(0);
+  while (!q.empty()) {
+    const std::int32_t u = q.front();
+    q.pop();
+    for (const std::int32_t v : out[static_cast<std::size_t>(u)]) {
+      if (depth[static_cast<std::size_t>(v)] == 0) {
+        depth[static_cast<std::size_t>(v)] =
+            depth[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+NpbResult run_gt(core::Runtime& rt, Klass klass) {
+  const GraphParams prm = gt_params(klass);
+  const std::int64_t n = prm.vertices;
+  const std::int64_t edges = powerlaw_edge_count(n, prm.dmin, prm.dmax);
+
+  auto rowptr = rt.alloc_array<std::int64_t>(
+      static_cast<std::size_t>(n) + 1, "rowptr");
+  auto col =
+      rt.alloc_array<std::int32_t>(static_cast<std::size_t>(edges), "col");
+  auto depth =
+      rt.alloc_array<std::int32_t>(static_cast<std::size_t>(n), "depth");
+
+  // Graph generation is host-side and untimed, like CG's makea.
+  build_powerlaw_csr(rowptr.raw(), col.raw(), n, prm.dmin, prm.dmax, kGtSeed);
+  for (std::int64_t v = 0; v < n; ++v) depth[v] = 0;
+  depth[0] = 1;
+
+  std::int64_t reached = 0;
+  std::uint64_t depth_sum = 0;
+  std::int32_t rounds = 0;
+  rt.parallel([&](ThreadCtx& ctx) {
+    const unsigned tid = ctx.tid(), nt = ctx.nthreads();
+    // Edge-balanced ownership (the DiscreteArray idiom): slice boundaries
+    // split cumulative degree, not vertex count, so the power-law hubs in
+    // the low-v buckets don't serialize onto thread 0.
+    const std::vector<std::int64_t> bounds =
+        edge_balanced_slices(rowptr.raw(), n, nt);
+    const auto lo = static_cast<index_t>(bounds[tid]);
+    const auto hi = static_cast<index_t>(bounds[tid + 1]);
+    auto rpv = ctx.view(rowptr);
+    auto colv = ctx.view(col);
+    auto dv = ctx.view(depth);
+
+    // Bottom-up level-synchronous BFS: each round, every still-unreached
+    // owned vertex scans its in-edges for a parent on the current level;
+    // only the owner writes depth[v]. Reading depth[u] while u's owner
+    // stores level+1 is a benign race: the reader sees 0 or level+1, both
+    // of which fail the == level test, so control flow — and therefore the
+    // recorded access stream — is timing-independent.
+    std::int32_t level = 1;
+    std::int64_t found_total = 1;  // root
+    while (true) {
+      std::int64_t found = 0, probes = 0;
+      for (index_t v = lo; v < hi; ++v) {
+        if (dv.load(v) != 0) continue;
+        const index_t e0 = rpv.load(v), e1 = rpv.load(v + 1);
+        for (index_t k = e0; k < e1; ++k) {
+          ++probes;
+          if (dv.load(static_cast<index_t>(colv.load(k))) == level) {
+            dv.store(v, level + 1);
+            ++found;
+            break;
+          }
+        }
+      }
+      ctx.compute(hi - lo + 2 * probes);
+      const std::int64_t found_all = ctx.reduce(found, std::plus<>{});
+      ctx.barrier();
+      if (found_all == 0) break;
+      found_total += found_all;
+      ++level;
+    }
+
+    std::uint64_t sum = 0;
+    for (index_t v = lo; v < hi; ++v) {
+      sum += static_cast<std::uint64_t>(dv.load(v));
+    }
+    ctx.compute(hi - lo);
+    const std::uint64_t sum_all = ctx.reduce(
+        sum, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (tid == 0) {
+      depth_sum = sum_all;
+      reached = found_total;  // every thread holds the reduced total
+      rounds = level;
+    }
+  });
+
+  // Verification: the converged depths must equal an independent host-side
+  // BFS recompute exactly (this subsumes "all reached" via the backbone).
+  const std::vector<std::int32_t> want =
+      reference_depths(rowptr.raw(), col.raw(), n);
+  std::int64_t wrong = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (depth[v] != want[static_cast<std::size_t>(v)] || depth[v] == 0) {
+      ++wrong;
+    }
+  }
+
+  NpbResult result;
+  result.kernel = Kernel::GT;
+  result.klass = klass;
+  result.checksum = static_cast<double>(depth_sum);
+  result.verified = wrong == 0 && reached == n;
+  std::ostringstream os;
+  os << "depth_sum=" << depth_sum << " reached=" << reached << "/" << n
+     << " rounds=" << rounds << " wrong=" << wrong << " edges=" << edges;
+  result.verification_detail = os.str();
+  return result;
+}
+
+}  // namespace lpomp::npb

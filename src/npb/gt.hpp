@@ -1,0 +1,18 @@
+// GT: level-synchronous bottom-up BFS over a CSR graph with deterministic
+// power-law degree skew. The per-round scan streams rowptr/col while
+// gathering depths at hashed vertex positions — CG-like gather irregularity
+// plus the degree imbalance that edge-balanced frontier slicing
+// (hoshizora's DiscreteArray idiom) exists to absorb. A v/2 binary-tree
+// backbone keeps the graph connected with log2(n) diameter, so round count
+// and the access stream are deterministic for fixed (klass, threads).
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+/// Runs GT at `klass` on `rt`; fills verification and checksum fields
+/// (profile and timing are added by the dispatcher).
+NpbResult run_gt(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

@@ -1,0 +1,20 @@
+// GUPS: random-access table updates in the spirit of the HPCC
+// RandomAccess microbenchmark (lomp's generateRandomAccess.py is the
+// exemplar). A seed-keyed splitmix64 stream XORs values into random slots
+// of a large table, so every access is a singleton touch on a fresh page —
+// TLB reach is everything, the workload where 4 KB vs 2 MB vs 1 GiB
+// separations are most dramatic and least NPB-shaped. Unlike HPCC's racy
+// original, updates are ownership-filtered (each thread applies only the
+// stream entries landing in its table slice), so the run is race-free and
+// bit-deterministic for any thread count.
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace lpomp::npb {
+
+/// Runs GUPS at `klass` on `rt`; fills verification and checksum fields
+/// (profile and timing are added by the dispatcher).
+NpbResult run_gups(core::Runtime& rt, Klass klass);
+
+}  // namespace lpomp::npb

@@ -1,0 +1,97 @@
+#include "npb/irregular.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lpomp::npb {
+
+namespace {
+
+// Bucket index of v: floor(log2(v + 1)). Bucket b holds vertices
+// [2^b - 1, 2^(b+1) - 1), i.e. one tree level of the v/2 backbone.
+int bucket_of(std::int64_t v) {
+  int b = 0;
+  std::int64_t top = v + 1;
+  while (top > 1) {
+    top >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+std::int64_t powerlaw_degree(std::int64_t v, std::int64_t dmin,
+                             std::int64_t dmax) {
+  LPOMP_CHECK(dmin >= 1 && dmax >= 0 && v >= 0);
+  const int b = bucket_of(v);
+  return dmin + (b < 63 ? (dmax >> b) : 0);
+}
+
+std::int64_t powerlaw_edge_count(std::int64_t n, std::int64_t dmin,
+                                 std::int64_t dmax) {
+  LPOMP_CHECK(n >= 1 && dmin >= 1 && dmax >= 0);
+  std::int64_t total = 0;
+  for (int b = 0; (std::int64_t{1} << b) - 1 < n; ++b) {
+    const std::int64_t lo = (std::int64_t{1} << b) - 1;
+    const std::int64_t hi = std::min(n, (std::int64_t{2} << b) - 1);
+    total += (hi - lo) * (dmin + (b < 63 ? (dmax >> b) : 0));
+  }
+  return total;
+}
+
+void build_powerlaw_csr(std::int64_t* rowptr, std::int32_t* col,
+                        std::int64_t n, std::int64_t dmin, std::int64_t dmax,
+                        std::uint64_t seed) {
+  LPOMP_CHECK(n >= 1 && n <= INT32_MAX);
+  std::int64_t e = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    rowptr[v] = e;
+    const std::int64_t deg = powerlaw_degree(v, dmin, dmax);
+    col[e++] = static_cast<std::int32_t>(v / 2);  // backbone (self-loop at 0)
+    for (std::int64_t j = 1; j < deg; ++j) {
+      col[e++] = static_cast<std::int32_t>(
+          mix64(seed ^ (static_cast<std::uint64_t>(v) * 0x2545F4914F6CDD1DULL +
+                        static_cast<std::uint64_t>(j))) %
+          static_cast<std::uint64_t>(n));
+    }
+  }
+  rowptr[n] = e;
+  LPOMP_CHECK(e == powerlaw_edge_count(n, dmin, dmax));
+}
+
+std::vector<std::int64_t> edge_balanced_slices(const std::int64_t* rowptr,
+                                               std::int64_t n,
+                                               unsigned nslices) {
+  LPOMP_CHECK(n >= 0 && nslices >= 1);
+  const std::int64_t total = rowptr[n];
+  std::vector<std::int64_t> bounds(nslices + 1);
+  bounds[0] = 0;
+  for (unsigned i = 1; i < nslices; ++i) {
+    // First vertex whose cumulative edge count reaches the i-th share.
+    // Dividing before multiplying would lose the remainder; total*i fits
+    // int64 for every class (col is int32-indexed).
+    const std::int64_t target =
+        total * static_cast<std::int64_t>(i) / nslices;
+    const std::int64_t* it = std::lower_bound(rowptr, rowptr + n + 1, target);
+    bounds[i] = std::max(bounds[i - 1], it - rowptr);
+  }
+  bounds[nslices] = n;
+  return bounds;
+}
+
+void sattolo_cycle(std::int64_t* next, std::int64_t n, std::uint64_t seed) {
+  LPOMP_CHECK(n >= 1);
+  for (std::int64_t i = 0; i < n; ++i) next[i] = i;
+  Rng rng(seed);
+  // Swapping with a strictly smaller index at every step is what makes the
+  // result one cycle (Fisher-Yates with j <= i would allow fixed points).
+  for (std::int64_t i = n - 1; i >= 1; --i) {
+    const auto j = static_cast<std::int64_t>(rng.next_below(i));
+    std::swap(next[i], next[j]);
+  }
+}
+
+}  // namespace lpomp::npb

@@ -1,0 +1,78 @@
+// Deterministic generators shared by the irregular-workload kernels (GUPS,
+// GT, PC) and their property tests: the seed-keyed splitmix64 index stream,
+// the power-law degree law + CSR builder, the edge-balanced frontier slicer
+// (hoshizora's DiscreteArray idiom), and Sattolo's single-cycle shuffle.
+//
+// Everything here is pure integer arithmetic keyed only by explicit seeds —
+// never the task seed — because the generated layout is part of the trace
+// stream identity (kernel, klass, threads, page kind): two runs that differ
+// only in paging policy or simulation seed must touch identical addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lpomp::npb {
+
+/// splitmix64 finalizer — the stateless index/value stream generator.
+/// Update k of a GUPS run is fully determined by (seed, k), so verification
+/// can regenerate any update without storing the stream.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Table slot touched by update k (`table_words` must be a power of two).
+inline std::uint64_t gups_index(std::uint64_t seed, std::uint64_t k,
+                                std::uint64_t table_words) {
+  return mix64(seed ^ (k * 0xA24BAED4963EE407ULL)) & (table_words - 1);
+}
+
+/// Value XORed into the table by update k. XOR makes the update stream an
+/// involution: applying it twice restores the initial table exactly, which
+/// is what the self-verification pass exploits.
+inline std::uint64_t gups_value(std::uint64_t seed, std::uint64_t k) {
+  return mix64(seed + 0x9E6C63D0876A9A47ULL + k);
+}
+
+/// Deterministic power-law degree: vertices fall into log2(v+1) buckets and
+/// the hub share halves per bucket — deg(0) = dmin + dmax, the tail sits at
+/// dmin. Monotone non-increasing in v. Requires dmin >= 1 so every vertex
+/// keeps its backbone edge (and rowptr stays strictly increasing).
+std::int64_t powerlaw_degree(std::int64_t v, std::int64_t dmin,
+                             std::int64_t dmax);
+
+/// Closed-form sum of powerlaw_degree over [0, n) — the CSR edge count.
+/// Used by the Table 2-style analytic inventory, so it must agree exactly
+/// with what build_powerlaw_csr emits (the property test checks this).
+std::int64_t powerlaw_edge_count(std::int64_t n, std::int64_t dmin,
+                                 std::int64_t dmax);
+
+/// Builds the CSR adjacency. `rowptr` has n+1 entries, `col` has
+/// powerlaw_edge_count(n, dmin, dmax) entries. Edge 0 of every v > 0
+/// targets v/2 (a binary-tree backbone: the graph is connected with
+/// diameter <= log2 n); edge 0 of v == 0 is a self-loop; the remaining
+/// targets are splitmix64-hashed. Entries of col(v) are read as in-edges:
+/// the vertices that can discover v in the bottom-up BFS.
+void build_powerlaw_csr(std::int64_t* rowptr, std::int32_t* col,
+                        std::int64_t n, std::int64_t dmin, std::int64_t dmax,
+                        std::uint64_t seed);
+
+/// Edge-balanced vertex-slice boundaries over a CSR rowptr — hoshizora's
+/// DiscreteArray idiom inverted: instead of locating a slice by cumulative
+/// index with upper_bound, precompute the boundary vertex whose cumulative
+/// edge count first reaches i/nslices of the total. Returns nslices+1
+/// boundaries with front() == 0 and back() == n; slice i owns vertices
+/// [b[i], b[i+1]), so the power-law hubs don't pile into one slice.
+std::vector<std::int64_t> edge_balanced_slices(const std::int64_t* rowptr,
+                                               std::int64_t n,
+                                               unsigned nslices);
+
+/// Sattolo's algorithm: fills next[0..n) with a single-cycle permutation —
+/// every element lies on the one cycle, so a chase from any start index
+/// walks the whole ring before repeating.
+void sattolo_cycle(std::int64_t* next, std::int64_t n, std::uint64_t seed);
+
+}  // namespace lpomp::npb

@@ -7,8 +7,11 @@
 #include "npb/bt.hpp"
 #include "npb/cg.hpp"
 #include "npb/ft.hpp"
+#include "npb/gt.hpp"
+#include "npb/gups.hpp"
 #include "npb/mg.hpp"
 #include "npb/params.hpp"
+#include "npb/pc.hpp"
 #include "npb/sp.hpp"
 
 namespace lpomp::npb {
@@ -29,6 +32,9 @@ NpbResult run_kernel(Kernel kernel, Klass klass, core::RuntimeConfig config) {
     case Kernel::FT: result = run_ft(rt, klass); break;
     case Kernel::SP: result = run_sp(rt, klass); break;
     case Kernel::MG: result = run_mg(rt, klass); break;
+    case Kernel::GUPS: result = run_gups(rt, klass); break;
+    case Kernel::GT: result = run_gt(rt, klass); break;
+    case Kernel::PC: result = run_pc(rt, klass); break;
   }
 
   result.simulated_seconds = rt.finish_seconds();

@@ -15,6 +15,17 @@
 //   MG — multigrid V-cycles over coarse and fine grids ("tests both short
 //        and long distance data movement").
 //
+// Beyond the paper's five, three irregular-workload kernels widen the axis
+// where the paper reports null results (BT/FT barely move under large
+// pages because their patterns sit inside TLB reach):
+//   GUPS — random table updates from a splitmix64 index stream: every
+//          access a singleton touch on a fresh page, TLB reach is
+//          everything;
+//   GT   — bottom-up BFS over a power-law CSR graph with edge-balanced
+//          frontier slices (hoshizora's DiscreteArray idiom);
+//   PC   — pointer chasing around a single-cycle permutation: dependent
+//          loads that defeat stride-RLE and any prefetcher.
+//
 // Problem classes: S/W/A/B carry the official NPB sizes (S runs in tests,
 // B exists mainly for the Table 2 footprint accounting), and class R is the
 // reproduction class used by the figure benches — sized so a full
@@ -31,7 +42,7 @@
 
 namespace lpomp::npb {
 
-enum class Kernel { BT, CG, FT, SP, MG };
+enum class Kernel { BT, CG, FT, SP, MG, GUPS, GT, PC };
 enum class Klass { S, W, A, B, R };
 
 const char* kernel_name(Kernel k);

@@ -94,6 +94,64 @@ inline AdiParams bt_params(Klass k) {
   return {};
 }
 
+struct GupsParams {
+  std::int64_t table_words;  ///< update table slots (power of two, 8 B each)
+  std::int64_t updates;      ///< splitmix64 stream length
+};
+
+struct GraphParams {
+  std::int64_t vertices;
+  std::int64_t dmin;  ///< tail degree (>= 1; edge 0 is the v/2 backbone)
+  std::int64_t dmax;  ///< hub bonus, halving per log2 bucket
+};
+
+struct ChaseParams {
+  std::int64_t elements;    ///< permutation-cycle nodes (8 B each)
+  std::int64_t total_hops;  ///< dependent loads, split across threads
+};
+
+inline GupsParams gups_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {1 << 14, 3 << 15};
+    case Klass::W: return {1 << 17, 1 << 19};
+    case Klass::A: return {1 << 20, 1 << 21};
+    case Klass::B: return {1 << 24, 1 << 25};
+    // R: a 512 KB table spans 128 4 KB pages — far past the Opteron's
+    // 32-entry L1 DTLB, so nearly every update pays a walk at 4 KB and
+    // none with one 2 MB page: the pure TLB-reach regime.
+    case Klass::R: return {1 << 16, 3 << 16};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline GraphParams gt_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {4096, 3, 512};
+    case Klass::W: return {16384, 4, 2048};
+    case Klass::A: return {65536, 6, 8192};
+    case Klass::B: return {4194304, 8, 65536};
+    // R: ~950 KB of CSR + depth — the gather target alone outruns the
+    // L1 DTLB while col streams stay page-local, mixing both regimes.
+    case Klass::R: return {32768, 4, 4096};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
+inline ChaseParams pc_params(Klass k) {
+  switch (k) {
+    case Klass::S: return {1 << 14, 1 << 16};
+    case Klass::W: return {1 << 17, 1 << 18};
+    case Klass::A: return {1 << 20, 1 << 21};
+    case Klass::B: return {1 << 24, 1 << 25};
+    // R: 512 KB of next pointers, one dependent singleton load per hop.
+    case Klass::R: return {1 << 16, 3 << 16};
+  }
+  LPOMP_CHECK(false);
+  return {};
+}
+
 inline AdiParams sp_params(Klass k) {
   switch (k) {
     case Klass::S: return {12, 2};

@@ -93,6 +93,28 @@ TEST(GoldenFigures, Figure5SmallClass) {
   compare_against_golden("fig5_small.json", deterministic_json(result));
 }
 
+// The irregular-workload suite (GUPS random access, GT power-law BFS, PC
+// pointer chase) across the full paging axis — native/hugetlb2m/huge1g/thp
+// on both the paper Opteron and the modern (1 GiB-TLB + PWC) platform.
+// These are the streams where the paging overlay's synthetic-walk path and
+// the 1 GiB banks separate hardest from 4 KB, so their numbers are pinned
+// byte-for-byte.
+TEST(GoldenFigures, IrregularKernelsSmallClassPagingGrid) {
+  SweepSpec spec = SweepSpec::figure5(npb::Klass::S, /*threads=*/4);
+  spec.kernels = {npb::Kernel::GUPS, npb::Kernel::GT, npb::Kernel::PC};
+  spec.platforms = {sim::ProcessorSpec::opteron270(),
+                    sim::ProcessorSpec::modern()};
+  paging::PolicySpec hugetlb2m;
+  hugetlb2m.policy = paging::Policy::hugetlb2m;
+  spec.paging_policies = golden_paging_axis();
+  spec.paging_policies.insert(spec.paging_policies.begin() + 1, hugetlb2m);
+  ExperimentEngine engine({.workers = 2});
+  const SweepResult result = engine.run(spec);
+  ASSERT_EQ(result.failed(), 0u);
+  for (const RunRecord& r : result.records) ASSERT_TRUE(r.verified);
+  compare_against_golden("irregular_S.json", deterministic_json(result));
+}
+
 // The class-S full grid (every kernel × both platforms × thread sweep ×
 // both page kinds), pinned to *reference-model* output: the snapshot is
 // generated with the ThreadSim fast path disabled (the naive per-event

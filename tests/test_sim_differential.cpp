@@ -327,7 +327,7 @@ void run_platform(const sim::ProcessorSpec& spec,
           gen.next_below(3) == 0 ? Access::store : Access::load;
 
       const std::uint64_t roll = gen.next_below(100);
-      if (roll < 30) {
+      if (roll < 16) {
         // Single touch.
         const vaddr_t addr = base + 8 * gen.next_below(limit / 8);
         sim::ReplaySlot slot;
@@ -341,6 +341,56 @@ void run_platform(const sim::ProcessorSpec& spec,
           t.slow.touch(addr, kind, access);
           t.ref.touch(addr, kind, access);
           ana_block(t.ana, &slot, 1, 1);
+        }
+      } else if (roll < 23) {
+        // Random-access burst — the GUPS stream shape: a block of
+        // uncorrelated singleton touches, exactly what stride-RLE
+        // degenerates to. fast takes the batched pattern path, slow/ref
+        // expand per event, ana must classify every slot as a singleton.
+        const std::size_t m = 4 + static_cast<std::size_t>(gen.next_below(37));
+        std::vector<sim::ReplaySlot> slots(m);
+        for (sim::ReplaySlot& s : slots) {
+          s.addr = base + 8 * gen.next_below(limit / 8);
+          s.n = 1;
+          s.page = kind;
+          s.access = gen.next_below(4) == 0 ? Access::store : Access::load;
+        }
+        for (int w = 0; w < 2; ++w) {
+          Quad& t = quads[static_cast<std::size_t>(w)];
+          t.fast.replay_pattern(slots.data(), slots.size(), 1);
+          for (const sim::ReplaySlot& s : slots) {
+            t.slow.touch(s.addr, s.page, s.access);
+            t.ref.touch(s.addr, s.page, s.access);
+          }
+          ana_block(t.ana, slots.data(), slots.size(), 1);
+        }
+      } else if (roll < 30) {
+        // Dependent chain — the pointer-chase shape: a hash-walk of
+        // singleton loads revisited for several passes (period_inc = 0),
+        // so the second pass hits the analytic tier's warm proofs on
+        // n == 1 slots with no stride structure to lean on.
+        const std::size_t m = 4 + static_cast<std::size_t>(gen.next_below(21));
+        const std::uint64_t periods = 1 + gen.next_below(3);
+        std::uint64_t idx = gen.next_below(limit / 8);
+        std::vector<sim::ReplaySlot> slots(m);
+        for (sim::ReplaySlot& s : slots) {
+          s.addr = base + 8 * idx;
+          s.n = 1;
+          s.page = kind;
+          s.access = Access::load;
+          idx = (idx * 0x2545F4914F6CDD1DULL + 0x9E3779B97F4A7C15ULL) %
+                (limit / 8);
+        }
+        for (int w = 0; w < 2; ++w) {
+          Quad& t = quads[static_cast<std::size_t>(w)];
+          t.fast.replay_pattern(slots.data(), slots.size(), periods);
+          for (std::uint64_t p = 0; p < periods; ++p) {
+            for (const sim::ReplaySlot& s : slots) {
+              t.slow.touch(s.addr, s.page, s.access);
+              t.ref.touch(s.addr, s.page, s.access);
+            }
+          }
+          ana_block(t.ana, slots.data(), slots.size(), periods);
         }
       } else if (roll < 50) {
         // Unit-stride run crossing line/page (and, in the 2 MB region,

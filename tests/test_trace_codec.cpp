@@ -7,9 +7,11 @@
 #include <sstream>
 #include <vector>
 
+#include "npb/npb.hpp"
 #include "support/rng.hpp"
 #include "trace/codec.hpp"
 #include "trace/io.hpp"
+#include "trace/recorder.hpp"
 #include "trace/trace.hpp"
 
 namespace lpomp::trace {
@@ -560,6 +562,82 @@ TEST(TraceIo, BitFlipRejectedAtEveryOffset) {
     bad[off] ^= 0x04;
     std::stringstream is(bad);
     EXPECT_THROW(read_trace(is), TraceError) << "flip at offset " << off;
+  }
+}
+
+// --- kernel-harvested fuzz corpus -------------------------------------------
+// The irregular kernels emit the codec's worst case: singleton-dominated
+// streams where stride-RLE degenerates to per-event framing (GUPS random
+// indexes, PC dependent chases, GT gathers). The synthetic fuzz above never
+// produces this density of TOUCH opcodes with large zigzag deltas, so the
+// corpus here is harvested from the kernels' real recorded streams: the
+// clean bytes must decode to END, and every sampled truncation or bit flip
+// must either decode cleanly or throw TraceError — never crash, hang, or
+// run off the buffer (the sanitizer CI job runs this too).
+
+std::vector<std::string> harvest_streams(npb::Kernel kernel,
+                                         std::uint64_t* accesses) {
+  TraceRecorder recorder(2);
+  core::RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.page_kind = PageKind::small4k;
+  cfg.sim = core::SimConfig{sim::ProcessorSpec::opteron270(),
+                            sim::CostModel{}, 0x5eedULL};
+  cfg.trace_sink = &recorder;
+  const npb::NpbResult r = npb::run_kernel(kernel, npb::Klass::S, cfg);
+  EXPECT_TRUE(r.verified) << npb::kernel_name(kernel);
+  TraceMeta meta;
+  meta.kernel = npb::kernel_name(kernel);
+  meta.klass = "S";
+  meta.threads = 2;
+  meta.page_kind = PageKind::small4k;
+  Trace t = recorder.finish(std::move(meta));
+  *accesses = t.meta.accesses;
+  return std::move(t.streams);
+}
+
+void decode_to_end(const std::string& bytes) {
+  ThreadDecoder dec(bytes);
+  while (dec.next().kind != ThreadDecoder::ItemKind::end) {
+  }
+}
+
+TEST(TraceCodecFuzz, IrregularKernelStreamsSurviveTruncationAndBitFlips) {
+  Rng rng(0xF0221277'5EEDULL);
+  for (npb::Kernel kernel :
+       {npb::Kernel::GUPS, npb::Kernel::GT, npb::Kernel::PC}) {
+    std::uint64_t accesses = 0;
+    const std::vector<std::string> streams = harvest_streams(kernel, &accesses);
+    ASSERT_EQ(streams.size(), 2u);
+    std::uint64_t wire_bytes = 0;
+    for (const std::string& s : streams) {
+      ASSERT_GT(s.size(), 64u);
+      wire_bytes += s.size();
+      decode_to_end(s);  // the clean harvest decodes fully
+
+      for (int i = 0; i < 64; ++i) {
+        const std::size_t cut = rng.next_below(s.size());
+        try {
+          decode_to_end(s.substr(0, cut));
+        } catch (const TraceError&) {
+          // rejected cleanly — the acceptable outcome for a torn stream
+        }
+      }
+      for (int i = 0; i < 256; ++i) {
+        std::string bad = s;
+        const std::size_t off = rng.next_below(bad.size());
+        bad[off] = static_cast<char>(static_cast<std::uint8_t>(bad[off]) ^
+                                     (1u << rng.next_below(8)));
+        try {
+          decode_to_end(bad);
+        } catch (const TraceError&) {
+        }
+      }
+    }
+    // Near-incompressibility honesty check: regular kernels RLE to well
+    // under a byte per access; these streams must not (loose bound so the
+    // checksum-scan runs, which do compress, don't trip it).
+    EXPECT_GT(wire_bytes, accesses / 2) << npb::kernel_name(kernel);
   }
 }
 

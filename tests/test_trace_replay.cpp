@@ -392,6 +392,37 @@ TEST(TraceReplay, BitFlippedStrideHeaderFallsBack) {
   expect_corrupt_falls_back(task, corrupt, "bit-flipped stride header");
 }
 
+// Case 3: every irregular kernel's genuine recorded stream, truncated
+// mid-stream. Their wire shape is singleton-dominated (GUPS random indexes
+// and PC dependent chases give stride-RLE nothing to coalesce), so the
+// decoder loses the framing structure regular kernels would fail on much
+// earlier — the cut must still be rejected at compile and decode time and
+// degrade to a live re-run with identical JSON under both strategies.
+TEST(TraceReplay, IrregularKernelsCorruptTraceFallsBack) {
+  for (npb::Kernel kernel :
+       {npb::Kernel::GUPS, npb::Kernel::GT, npb::Kernel::PC}) {
+    exec::SweepSpec spec = exec::SweepSpec::figure5(npb::Klass::S, 2);
+    spec.kernels = {kernel};
+    spec.trace_backed = true;
+    const std::vector<exec::RunTask> tasks = spec.expand();
+    ASSERT_FALSE(tasks.empty());
+    const exec::RunTask& task = tasks.front();
+
+    const LiveRun live =
+        record_live(kernel, npb::Klass::S, sim::ProcessorSpec::opteron270(),
+                    task.threads, task.page_kind);
+    ASSERT_TRUE(live.result.verified);
+    trace::Trace corrupt = live.trace;
+    std::string& stream = corrupt.streams.back();
+    ASSERT_GT(stream.size(), 16u);
+    stream.resize(stream.size() / 2);
+
+    expect_corrupt_falls_back(task, corrupt,
+                              std::string("truncated ") +
+                                  npb::kernel_name(kernel) + " stream");
+  }
+}
+
 // Store bookkeeping: erase() drops an entry (freeing its budget share)
 // without invalidating outstanding references, and is a no-op on misses.
 TEST(TraceStore, EraseReleasesEntry) {
