@@ -5,6 +5,7 @@
 // LPOMP_* environment overrides.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -200,6 +201,18 @@ inline exec::ExperimentEngine make_engine(const Options& opts) {
       MiB(static_cast<std::size_t>(opts.get_int("trace-store-mb", 2048)));
   cfg.strategy = strategy_from(opts);
   cfg.store_dir = opts.get("store-dir", "");
+  // --topology=SxC fixes the pool's socket × core shape (and its worker
+  // count) independently of the host, e.g. --topology=2x2 in CI identity
+  // checks; absent, the shape is detected (flat 1×N fallback).
+  const std::string topo = opts.get("topology", "");
+  if (!topo.empty()) {
+    try {
+      cfg.topology = exec::Topology::parse(topo);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+  }
   return exec::ExperimentEngine(cfg);
 }
 

@@ -287,11 +287,45 @@ int main(int argc, char** argv) {
   // committed reference.
   const std::string bench_path = opts.get("json-out", "");
   if (!bench_path.empty()) {
+    // Lane occupancy over *fusable* stream groups (points ≥ 2). A group of
+    // P points always needs one source run (leader or recording), so its
+    // lane capacity is P−1; occupancy = offloaded/(P−1). Singleton groups
+    // (e.g. 8T streams only one platform can host) have no capacity at all
+    // — the old definition (fused_lanes/records) let them drag the overall
+    // number to 0.43 when every fusable group was actually full. They are
+    // reported separately (singleton_points) and excluded from the overall.
+    std::vector<std::string> group_order;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> groups;
+    for (const exec::RunRecord& r : cold.records) {
+      const std::string stream = r.kernel + "." + r.klass + "/" +
+                                 std::to_string(r.threads) + "T/" +
+                                 r.page_kind;
+      auto [it, fresh] = groups.try_emplace(stream, 0, 0);
+      if (fresh) group_order.push_back(stream);
+      ++it->second.first;
+      if (r.trace_source == "analytic" || r.trace_source == "lane" ||
+          r.trace_source == "replay") {
+        ++it->second.second;
+      }
+    }
+    std::uint64_t fusable_points = 0;
+    std::uint64_t singleton_points = 0;
+    std::uint64_t fusable_capacity = 0;  // Σ (points − 1) over fusable groups
+    std::uint64_t fusable_offloaded = 0;
+    for (const std::string& stream : group_order) {
+      const auto& [points, offloaded] = groups[stream];
+      if (points >= 2) {
+        fusable_points += points;
+        fusable_capacity += points - 1;
+        fusable_offloaded += offloaded;
+      } else {
+        singleton_points += points;
+      }
+    }
     const double occupancy =
-        cold.records.empty()
-            ? 0.0
-            : static_cast<double>(cold.fused_lanes) /
-                  static_cast<double>(cold.records.size());
+        fusable_capacity == 0 ? 0.0
+                              : static_cast<double>(fusable_offloaded) /
+                                    static_cast<double>(fusable_capacity);
     // The admission-queue peak is daemon-side state: sweep_all itself runs
     // unqueued, so without --shm= the field reports 0 for schema parity.
     // With --shm=NAME it probes the live daemon's ring via the stats
@@ -311,9 +345,11 @@ int main(int argc, char** argv) {
     }
     exec::JsonWriter b;
     b.begin_object();
-    b.field("schema", "lpomp-bench-sweep-v4");
+    b.field("schema", "lpomp-bench-sweep-v5");
     b.field("klass", std::string(npb::klass_name(klass)));
     b.field("workers", static_cast<std::uint64_t>(cold.workers));
+    b.field("topology", cold.topology);
+    b.field("domains", static_cast<std::uint64_t>(cold.domains));
     b.field("strategy", exec::strategy_name(strategy));
     b.key("paging");
     b.begin_array();
@@ -344,41 +380,51 @@ int main(int argc, char** argv) {
     b.field("fused_lanes", static_cast<std::uint64_t>(cold.fused_lanes));
     b.field("replay_fallbacks",
             static_cast<std::uint64_t>(cold.replay_fallbacks));
+    b.field("fusable_points", fusable_points);
+    b.field("singleton_points", singleton_points);
     b.field("lane_occupancy_overall", occupancy);
-    // Per-stream-group occupancy: the single aggregate above hides the
-    // structure (singleton groups — thread counts only one platform can
-    // host — can never fan out, so 0.43 overall is actually 0.5 on every
-    // fusable group). A group is one address stream: kernel × class ×
-    // threads × page kind; "offloaded" counts its points served from the
-    // stream as analytic/lane/replay followers.
+    // Substrate-pool provenance over the cold + warm sweeps: reuse > 0 is
+    // the warm-fused-replay fast path actually firing.
+    b.field("substrate_builds", cold.substrate_builds + warm.substrate_builds);
+    b.field("substrate_reuse", cold.substrate_reuse + warm.substrate_reuse);
+    b.field("substrate_scrub_discards",
+            cold.substrate_scrub_discards + warm.substrate_scrub_discards);
+    b.field("local_steals", cold.local_steals + warm.local_steals);
+    b.field("remote_steals", cold.remote_steals + warm.remote_steals);
+    // Per-stream-group occupancy. A group is one address stream: kernel ×
+    // class × threads × page kind; "offloaded" counts its points served
+    // from the stream as analytic/lane/replay followers; "fusable" groups
+    // (points ≥ 2) have capacity points−1 (the source run is structural).
     b.key("stream_groups");
     b.begin_array();
-    {
-      std::vector<std::string> group_order;
-      std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> groups;
-      for (const exec::RunRecord& r : cold.records) {
-        const std::string stream = r.kernel + "." + r.klass + "/" +
-                                   std::to_string(r.threads) + "T/" +
-                                   r.page_kind;
-        auto [it, fresh] = groups.try_emplace(stream, 0, 0);
-        if (fresh) group_order.push_back(stream);
-        ++it->second.first;
-        if (r.trace_source == "analytic" || r.trace_source == "lane" ||
-            r.trace_source == "replay") {
-          ++it->second.second;
-        }
-      }
-      for (const std::string& stream : group_order) {
-        const auto& [points, offloaded] = groups[stream];
-        b.begin_object();
-        b.field("stream", stream);
-        b.field("points", points);
-        b.field("offloaded", offloaded);
-        b.field("occupancy", points == 0 ? 0.0
-                                         : static_cast<double>(offloaded) /
-                                               static_cast<double>(points));
-        b.end_object();
-      }
+    for (const std::string& stream : group_order) {
+      const auto& [points, offloaded] = groups[stream];
+      b.begin_object();
+      b.field("stream", stream);
+      b.field("points", points);
+      b.field("offloaded", offloaded);
+      b.field("fusable", points >= 2);
+      b.field("occupancy", points < 2 ? 0.0
+                                      : static_cast<double>(offloaded) /
+                                            static_cast<double>(points - 1));
+      b.end_object();
+    }
+    b.end_array();
+    // Adaptive-chunking decision trace of the cold sweep: per sharded
+    // stream group, the mode it executed under and the governor state
+    // after its imbalance observation.
+    b.key("sharding");
+    b.begin_array();
+    for (const exec::SweepResult::GroupSharding& g : cold.sharding) {
+      b.begin_object();
+      b.field("stream", g.stream);
+      b.field("mode", g.mode);
+      b.field("shards", static_cast<std::uint64_t>(g.shards));
+      b.field("imbalance", g.imbalance);
+      b.field("ewma", g.ewma);
+      b.field("promotions", g.promotions);
+      b.field("demotions", g.demotions);
+      b.end_object();
     }
     b.end_array();
     b.end_object();

@@ -7,7 +7,8 @@
 //                         [--code-pages=4KB] [--check]
 //                         [--strategy=analytic|recorded]
 //   trace_tools multilane --in=cg.lptrace [--seed=N] [--check]
-//   trace_tools bench     --in=cg.lptrace [--repeat=10] [--json-out=FILE]
+//   trace_tools bench     --in=cg_s.lptrace,cg_w.lptrace [--repeat=10]
+//                         [--json-out=FILE]
 //   trace_tools stats     --in=cg.lptrace
 //
 // `record` runs the kernel live with the recorder attached and writes the
@@ -250,25 +251,26 @@ int cmd_multilane(const Options& opts) {
   return 0;
 }
 
-/// Per-replay micro-benchmark: interpreted (stream decode + batched
-/// interpreter) vs analytic (compiled plan + closed-form fast-forward),
-/// minimum of --repeat runs each after one warm-up. The two paths must
-/// agree counter-for-counter — a timing from diverging replays would be
-/// meaningless — so the bench doubles as an identity check. --json-out
-/// writes the machine-readable row CI compares against its committed
-/// reference (the speedup ratio is host-independent, so CI gates on it).
-int cmd_bench(const Options& opts) {
-  const std::string in = opts.get("in", "");
-  if (in.empty()) {
-    std::cerr << "bench: need --in=<file>\n";
-    return 2;
-  }
-  const trace::Trace trace = trace::load_trace_file(in);
-  const int repeat = std::max(1, static_cast<int>(opts.get_int("repeat", 10)));
-  trace::ReplayConfig cfg;
-  cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
-  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
-  cfg.code_page_kind = pages_from(opts, "code-pages");
+/// One trace's bench measurements: min-of-repeat timings for the three
+/// replay tiers, the analytic/interpreted speedup, an interpreted-vs-
+/// analytic counter-identity verdict, and the trace's element-access count
+/// (the scaling axis — the analytic tier's advantage grows with
+/// accesses-per-line, which is why the reference carries both a class S
+/// and a class W entry of the same kernel).
+struct BenchEntry {
+  std::string trace_key;
+  std::uint64_t accesses = 0;
+  double interp_ms = 0.0;
+  double plan_interp_ms = 0.0;
+  double analytic_ms = 0.0;
+  double compile_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+BenchEntry bench_one(const std::string& path, const trace::ReplayConfig& cfg,
+                     int repeat) {
+  const trace::Trace trace = trace::load_trace_file(path);
 
   using clock = std::chrono::steady_clock;
   auto ms_of = [](clock::time_point t0) {
@@ -276,10 +278,14 @@ int cmd_bench(const Options& opts) {
         .count();
   };
 
+  BenchEntry e;
+  e.trace_key = trace.key();
+  e.accesses = trace::analyze_trace(trace).element_accesses;
+
   const auto tc = clock::now();
   const std::shared_ptr<const trace::TracePlan> plan =
       trace::TracePlan::compile(trace);
-  const double compile_ms = ms_of(tc);
+  e.compile_ms = ms_of(tc);
 
   trace::ReplayConfig interp = cfg;
   interp.analytic = false;
@@ -287,26 +293,26 @@ int cmd_bench(const Options& opts) {
   analytic.analytic = true;
 
   trace::ReplayOutcome out_i = trace::ReplayDriver(interp).run(trace);
-  double interp_ms = 1e300;
+  e.interp_ms = 1e300;
   for (int r = 0; r < repeat; ++r) {
     const auto t0 = clock::now();
     out_i = trace::ReplayDriver(interp).run(trace);
-    interp_ms = std::min(interp_ms, ms_of(t0));
+    e.interp_ms = std::min(e.interp_ms, ms_of(t0));
   }
   // Plan + interpretation isolates the decode saving from the analytic
   // fast-forward saving in the table below.
-  double plan_interp_ms = 1e300;
+  e.plan_interp_ms = 1e300;
   for (int r = 0; r < repeat; ++r) {
     const auto t0 = clock::now();
     trace::ReplayDriver(interp).run(trace, *plan);
-    plan_interp_ms = std::min(plan_interp_ms, ms_of(t0));
+    e.plan_interp_ms = std::min(e.plan_interp_ms, ms_of(t0));
   }
   trace::ReplayOutcome out_a = trace::ReplayDriver(analytic).run(trace, *plan);
-  double analytic_ms = 1e300;
+  e.analytic_ms = 1e300;
   for (int r = 0; r < repeat; ++r) {
     const auto t0 = clock::now();
     out_a = trace::ReplayDriver(analytic).run(trace, *plan);
-    analytic_ms = std::min(analytic_ms, ms_of(t0));
+    e.analytic_ms = std::min(e.analytic_ms, ms_of(t0));
   }
 
   bool same = out_i.simulated_seconds == out_a.simulated_seconds &&
@@ -314,33 +320,85 @@ int cmd_bench(const Options& opts) {
   for (std::size_t i = 0; same && i < out_i.profile.events().size(); ++i) {
     same = out_i.profile.events()[i].count == out_a.profile.events()[i].count;
   }
-  const double speedup = analytic_ms > 0.0 ? interp_ms / analytic_ms : 0.0;
-  std::cout << "replay bench " << trace.key() << " on " << cfg.spec.name
-            << " (min of " << repeat << "):\n"
-            << "  interpreted        " << format_ratio(interp_ms)
-            << " ms/replay (stream decode + batched interpreter)\n"
-            << "  plan+interpreted   " << format_ratio(plan_interp_ms)
-            << " ms/replay (decode-free, fast-forward off)\n"
-            << "  analytic           " << format_ratio(analytic_ms)
-            << " ms/replay (plan compile " << format_ratio(compile_ms)
-            << " ms, once per stream)\n"
-            << "  speedup            " << format_ratio(speedup)
-            << "x; counters " << (same ? "identical" : "DIFFER") << "\n";
+  e.identical = same;
+  e.speedup = e.analytic_ms > 0.0 ? e.interp_ms / e.analytic_ms : 0.0;
+  return e;
+}
+
+/// Per-replay micro-benchmark: interpreted (stream decode + batched
+/// interpreter) vs analytic (compiled plan + closed-form fast-forward),
+/// minimum of --repeat runs each after one warm-up. The two paths must
+/// agree counter-for-counter — a timing from diverging replays would be
+/// meaningless — so the bench doubles as an identity check. --in accepts a
+/// comma-separated trace list so one invocation measures the analytic
+/// advantage across problem classes (it grows with accesses-per-line).
+/// --json-out writes the machine-readable rows CI compares against its
+/// committed reference (the speedup ratio is host-independent, so CI gates
+/// on it).
+int cmd_bench(const Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) {
+    std::cerr << "bench: need --in=<file>[,<file>...]\n";
+    return 2;
+  }
+  std::vector<std::string> paths;
+  std::size_t start = 0;
+  while (start <= in.size()) {
+    std::size_t comma = in.find(',', start);
+    if (comma == std::string::npos) comma = in.size();
+    if (comma > start) paths.push_back(in.substr(start, comma - start));
+    start = comma + 1;
+  }
+  const int repeat = std::max(1, static_cast<int>(opts.get_int("repeat", 10)));
+  trace::ReplayConfig cfg;
+  cfg.spec = bench::platform_by_name(opts.get("platform", "opteron"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eed));
+  cfg.code_page_kind = pages_from(opts, "code-pages");
+
+  std::vector<BenchEntry> entries;
+  bool all_same = true;
+  for (const std::string& path : paths) {
+    const BenchEntry e = bench_one(path, cfg, repeat);
+    all_same = all_same && e.identical;
+    std::cout << "replay bench " << e.trace_key << " on " << cfg.spec.name
+              << " (min of " << repeat << ", " << format_count(e.accesses)
+              << " accesses):\n"
+              << "  interpreted        " << format_ratio(e.interp_ms)
+              << " ms/replay (stream decode + batched interpreter)\n"
+              << "  plan+interpreted   " << format_ratio(e.plan_interp_ms)
+              << " ms/replay (decode-free, fast-forward off)\n"
+              << "  analytic           " << format_ratio(e.analytic_ms)
+              << " ms/replay (plan compile " << format_ratio(e.compile_ms)
+              << " ms, once per stream)\n"
+              << "  speedup            " << format_ratio(e.speedup)
+              << "x; counters " << (e.identical ? "identical" : "DIFFER")
+              << "\n";
+    entries.push_back(e);
+  }
 
   const std::string json_path = opts.get("json-out", "");
   if (!json_path.empty()) {
     exec::JsonWriter w;
     w.begin_object();
-    w.field("schema", "lpomp-bench-replay-v1");
-    w.field("trace", trace.key());
+    w.field("schema", "lpomp-bench-replay-v2");
     w.field("platform", cfg.spec.name);
     w.field("repeat", static_cast<std::uint64_t>(repeat));
-    w.field("interpreted_ms", interp_ms);
-    w.field("plan_interpreted_ms", plan_interp_ms);
-    w.field("analytic_ms", analytic_ms);
-    w.field("plan_compile_ms", compile_ms);
-    w.field("speedup", speedup);
-    w.field("identical", same);
+    w.field("identical", all_same);
+    w.key("entries");
+    w.begin_array();
+    for (const BenchEntry& e : entries) {
+      w.begin_object();
+      w.field("trace", e.trace_key);
+      w.field("accesses", e.accesses);
+      w.field("interpreted_ms", e.interp_ms);
+      w.field("plan_interpreted_ms", e.plan_interp_ms);
+      w.field("analytic_ms", e.analytic_ms);
+      w.field("plan_compile_ms", e.compile_ms);
+      w.field("speedup", e.speedup);
+      w.field("identical", e.identical);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
     std::ofstream os(json_path);
     if (!os) {
@@ -350,7 +408,7 @@ int cmd_bench(const Options& opts) {
     os << w.str() << "\n";
     std::cout << "wrote " << json_path << "\n";
   }
-  return same ? 0 : 1;
+  return all_same ? 0 : 1;
 }
 
 void print_histogram(const char* title, const std::vector<std::uint64_t>& h,
@@ -458,7 +516,8 @@ int main(int argc, char** argv) {
                "  replay    --in=FILE [--platform=opteron|xeon] [--check] "
                "[--strategy=analytic|recorded]\n"
                "  multilane --in=FILE [--seed=N] [--check]\n"
-               "  bench     --in=FILE [--repeat=10] [--json-out=FILE]\n"
+               "  bench     --in=FILE[,FILE...] [--repeat=10] "
+               "[--json-out=FILE]\n"
                "  stats     --in=FILE\n";
   return 2;
 }

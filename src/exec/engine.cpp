@@ -13,6 +13,7 @@ Scheduler::Config scheduler_config(const ExperimentEngine::Config& config) {
   out.trace_store_bytes = config.trace_store_bytes;
   out.strategy = ExperimentEngine::effective_strategy(config);
   out.store_dir = config.store_dir;
+  out.topology = config.topology;
   return out;
 }
 

@@ -48,6 +48,9 @@ class ExperimentEngine {
     /// Root directory of the disk-persistent result store; empty → no disk
     /// tier (in-memory LRU only, the historical behaviour).
     std::string store_dir = {};
+    /// Socket × core shape of the pool (`--topology=SxC`). An explicit
+    /// shape overrides `workers`; unspecified → detected from the host.
+    Topology topology = {};
   };
 
   using TaskRunner = Scheduler::TaskRunner;

@@ -165,6 +165,22 @@ const RunRecord* SweepResult::find(const std::string& kernel,
   return nullptr;
 }
 
+namespace {
+
+void sharding_row_json(JsonWriter& w, const SweepResult::GroupSharding& g) {
+  w.begin_object();
+  w.field("stream", g.stream);
+  w.field("mode", g.mode);
+  w.field("shards", g.shards);
+  w.field("imbalance", g.imbalance);
+  w.field("ewma", g.ewma);
+  w.field("promotions", g.promotions);
+  w.field("demotions", g.demotions);
+  w.end_object();
+}
+
+}  // namespace
+
 std::string SweepResult::summary_json(bool include_host) const {
   JsonWriter w;
   w.begin_object();
@@ -192,6 +208,17 @@ std::string SweepResult::summary_json(bool include_host) const {
     w.field("fused_groups", static_cast<std::uint64_t>(fused_groups));
     w.field("fused_lanes", static_cast<std::uint64_t>(fused_lanes));
     w.field("replay_fallbacks", static_cast<std::uint64_t>(replay_fallbacks));
+    w.field("domains", domains);
+    w.field("topology", topology);
+    w.field("substrate_builds", substrate_builds);
+    w.field("substrate_reuse", substrate_reuse);
+    w.field("substrate_scrub_discards", substrate_scrub_discards);
+    w.field("local_steals", local_steals);
+    w.field("remote_steals", remote_steals);
+    w.key("sharding");
+    w.begin_array();
+    for (const GroupSharding& g : sharding) sharding_row_json(w, g);
+    w.end_array();
   }
   w.end_object();
   return w.str();
@@ -215,7 +242,7 @@ Scheduler::Scheduler(Config config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity),
       trace_store_(config_.trace_store_bytes),
-      pool_(config_.workers) {
+      pool_(config_.workers, config_.topology) {
   if (!config_.store_dir.empty()) {
     disk_store_ = std::make_unique<DiskResultStore>(config_.store_dir);
   }
@@ -272,6 +299,8 @@ SweepResult Scheduler::run(const std::vector<RunTask>& tasks,
   const ResultCache::Stats before = cache_.stats();
   const DiskResultStore::Stats store_before =
       disk_store_ != nullptr ? disk_store_->stats() : DiskResultStore::Stats{};
+  const trace::SubstratePool::Stats sub_before = substrate_pool_.stats();
+  const WorkStealingPool::StealStats steals_before = pool_.steal_stats();
   active_ = resolve_strategy(strategy);
   const bool analytic = active_ == Strategy::Analytic;
 
@@ -341,6 +370,8 @@ SweepResult Scheduler::run(const std::vector<RunTask>& tasks,
 
   SweepResult result;
   result.workers = pool_.workers();
+  result.domains = pool_.domains();
+  result.topology = pool_.topology().name();
   result.strategy = active_;
   result.records.resize(planned.size());
   FusedStats fused;
@@ -423,7 +454,196 @@ SweepResult Scheduler::run(const std::vector<RunTask>& tasks,
   result.fused_groups = fused.groups.load();
   result.fused_lanes = fused.lanes.load();
   result.replay_fallbacks = fused.fallbacks.load();
+  const trace::SubstratePool::Stats sub_after = substrate_pool_.stats();
+  result.substrate_builds = sub_after.builds - sub_before.builds;
+  result.substrate_reuse = sub_after.reuses - sub_before.reuses;
+  result.substrate_scrub_discards =
+      sub_after.scrub_discards - sub_before.scrub_discards;
+  const WorkStealingPool::StealStats steals_after = pool_.steal_stats();
+  result.local_steals = steals_after.local - steals_before.local;
+  result.remote_steals = steals_after.remote - steals_before.remote;
+  // Shard completion order is scheduling-dependent; sort the decision rows
+  // so the telemetry itself is stable for a given set of decisions.
+  result.sharding = std::move(fused.sharding);
+  std::sort(result.sharding.begin(), result.sharding.end(),
+            [](const SweepResult::GroupSharding& a,
+               const SweepResult::GroupSharding& b) {
+              return a.stream < b.stream;
+            });
   return result;
+}
+
+/// Mutable state the lane shards of one stream group share. Heap-held
+/// (shared_ptr) because shards outlive the group job that spawned them;
+/// pointers reference run() locals, which outlive every shard via
+/// wait_idle().
+struct Scheduler::ShardGroup {
+  std::shared_ptr<const trace::Trace> tr;
+  std::shared_ptr<const trace::TracePlan> plan;  ///< null → interpreted
+  std::vector<std::size_t> lane_idx;     ///< all lanes, shard-major order
+  std::vector<std::size_t> shard_begin;  ///< size shards+1, offsets in lane_idx
+  const std::vector<RunTask>* planned = nullptr;
+  std::vector<RunRecord>* records = nullptr;
+  const std::string* key = nullptr;
+  std::atomic<unsigned>* uses_left = nullptr;
+  FusedStats* fused = nullptr;
+  bool analytic = false;
+  bool stealing = false;  ///< mode this group executed under
+  std::vector<double> walls;  ///< per shard, each written by its own shard
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::size_t> ok_lanes{0};
+  std::atomic<std::size_t> fallback_shards{0};
+};
+
+void Scheduler::serve_lane_shards(std::shared_ptr<const trace::Trace> tr,
+                                  std::shared_ptr<const trace::TracePlan> plan,
+                                  std::vector<std::size_t> lane_idx,
+                                  const std::vector<RunTask>& planned,
+                                  std::vector<RunRecord>& records,
+                                  const std::string& key,
+                                  std::atomic<unsigned>& uses_left,
+                                  FusedStats& fused, bool analytic) {
+  if (lane_idx.empty()) return;
+  const std::size_t nlanes = lane_idx.size();
+  const unsigned domains = pool_.domains();
+  // Static mode: one contiguous chunk per domain — minimal scheduling
+  // traffic, each shard first-touches its lane state on its own socket.
+  // Stealing mode (after promotion): one task per lane, placed round-robin
+  // and rebalanced by the pool's domain-preferring steals.
+  const bool stealing = governor_.stealing(key);
+  const std::size_t shards =
+      stealing ? nlanes : std::min<std::size_t>(domains, nlanes);
+
+  auto ctx = std::make_shared<ShardGroup>();
+  ctx->tr = std::move(tr);
+  ctx->plan = std::move(plan);
+  ctx->lane_idx = std::move(lane_idx);
+  ctx->shard_begin.resize(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    ctx->shard_begin[s] = s * nlanes / shards;
+  }
+  ctx->planned = &planned;
+  ctx->records = &records;
+  ctx->key = &key;
+  ctx->uses_left = &uses_left;
+  ctx->fused = &fused;
+  ctx->analytic = analytic;
+  ctx->stealing = stealing;
+  ctx->walls.assign(shards, 0.0);
+  ctx->remaining.store(shards);
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto job = [this, ctx, s] { run_shard(ctx, s); };
+    if (stealing) {
+      pool_.submit(std::move(job));
+    } else {
+      pool_.submit_to_domain(std::move(job),
+                             static_cast<unsigned>(s % domains));
+    }
+  }
+}
+
+void Scheduler::run_shard(const std::shared_ptr<ShardGroup>& ctx,
+                          std::size_t shard) {
+  const std::vector<RunTask>& planned = *ctx->planned;
+  std::vector<RunRecord>& records = *ctx->records;
+  const std::size_t begin = ctx->shard_begin[shard];
+  const std::size_t end = ctx->shard_begin[shard + 1];
+  const auto count = static_cast<unsigned>(end - begin);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<trace::ReplayConfig> cfgs;
+  cfgs.reserve(end - begin);
+  for (std::size_t k = begin; k < end; ++k) {
+    cfgs.push_back(replay_config(planned[ctx->lane_idx[k]], ctx->analytic));
+  }
+  try {
+    const std::vector<trace::ReplayOutcome> outs =
+        ctx->plan != nullptr
+            ? trace::MultiReplayDriver(std::move(cfgs))
+                  .run(*ctx->tr, *ctx->plan, &substrate_pool_)
+            : trace::MultiReplayDriver(std::move(cfgs))
+                  .run(*ctx->tr, &substrate_pool_);
+    const double per_lane =
+        ms_since(t0) / static_cast<double>(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = ctx->lane_idx[k];
+      RunRecord record = base_record(planned[i]);
+      fill_outcome(record, outs[k - begin].verified, outs[k - begin].checksum,
+                   outs[k - begin].simulated_seconds, outs[k - begin].profile);
+      record.trace_source = ctx->analytic ? "analytic" : "replay";
+      record.cache_hit = false;
+      record.wall_ms = per_lane;
+      commit(cache_key(planned[i]), record);
+      records[i] = record;
+    }
+    ctx->ok_lanes.fetch_add(end - begin);
+  } catch (const trace::TraceError&) {
+    // This shard's replay was rejected (corrupt or inconsistent stored
+    // stream). Drop the trace and serve the shard's own lanes live — the
+    // sibling shards hold their own shared_ptr and finish however they
+    // finish; isolation is per shard, results identical either way.
+    trace_store_.erase(*ctx->key);
+    ctx->fallback_shards.fetch_add(1);
+    for (std::size_t k = begin; k < end; ++k) {
+      RunTask solo = planned[ctx->lane_idx[k]];
+      solo.trace_backed = false;
+      records[ctx->lane_idx[k]] = run_one(solo);
+    }
+  }
+  ctx->walls[shard] = ms_since(t0);
+
+  // This shard's stream uses are done.
+  if (ctx->uses_left->fetch_sub(count) == count) {
+    trace_store_.erase(*ctx->key);
+  }
+
+  if (ctx->remaining.fetch_sub(1) != 1) return;
+
+  // Last shard out: fold the walls into one imbalance observation. The
+  // walls are bucketed to the domain count in both modes, so what the
+  // governor sees is "what would static chunking have cost" — promotion
+  // triggers on real static imbalance, demotion on its disappearance,
+  // independent of how finely this round actually chunked.
+  const std::size_t shards_n = ctx->walls.size();
+  const std::size_t buckets =
+      std::min<std::size_t>(pool_.domains(), shards_n);
+  double max_bucket = 0.0;
+  double sum = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    double bucket = 0.0;
+    for (std::size_t s = b * shards_n / buckets;
+         s < (b + 1) * shards_n / buckets; ++s) {
+      bucket += ctx->walls[s];
+    }
+    max_bucket = std::max(max_bucket, bucket);
+    sum += bucket;
+  }
+  const double mean = sum / static_cast<double>(buckets);
+  const double imbalance = mean > 0.0 ? max_bucket / mean : 1.0;
+  const ShardingGovernor::Group after = governor_.observe(*ctx->key,
+                                                          imbalance);
+
+  const std::size_t ok = ctx->ok_lanes.load();
+  if (ok > 0) {
+    ctx->fused->groups.fetch_add(1);
+    ctx->fused->lanes.fetch_add(ok);
+  }
+  const std::size_t fell = ctx->fallback_shards.load();
+  if (fell > 0) ctx->fused->fallbacks.fetch_add(fell);
+
+  SweepResult::GroupSharding row;
+  row.stream = *ctx->key;
+  row.mode = ctx->stealing ? "stealing" : "static";
+  row.shards = static_cast<unsigned>(shards_n);
+  row.imbalance = imbalance;
+  row.ewma = after.ewma;
+  row.promotions = after.promotions;
+  row.demotions = after.demotions;
+  {
+    std::lock_guard lock(ctx->fused->mu);
+    ctx->fused->sharding.push_back(std::move(row));
+  }
 }
 
 void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
@@ -432,15 +652,16 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
                                 const std::string& key,
                                 std::atomic<unsigned>& uses_left,
                                 FusedStats& fused, bool analytic) {
-  // The whole group's stream uses complete together; release the trace (if
-  // any) once at the end.
+  // The group job releases the stream uses of every point it serves itself
+  // (cached hits, solos, the leader); lanes handed to serve_lane_shards are
+  // subtracted from `count` first — each shard releases its own share.
   struct Release {
     trace::TraceStore& store;
     const std::string& key;
     std::atomic<unsigned>& uses_left;
     unsigned count;
     ~Release() {
-      if (uses_left.fetch_sub(count) == count) store.erase(key);
+      if (count > 0 && uses_left.fetch_sub(count) == count) store.erase(key);
     }
   } release{trace_store_, key, uses_left,
             static_cast<unsigned>(group.size())};
@@ -472,9 +693,10 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
   }
 
   // A stream already in the store (cross-sweep reuse, preloaded traces):
-  // one decode pass serves every remaining point as a lane. A trace the
-  // replay rejects is dropped and the group falls through to the live
-  // leader below — fallback, not failure.
+  // the remaining points are served as lane shards across the pool's
+  // domains. A trace whose plan does not compile is dropped and the group
+  // falls through to the live leader below — fallback, not failure (a
+  // replay rejection is handled inside the shard itself, per shard).
   if (std::shared_ptr<const trace::Trace> tr = trace_store_.lookup(key)) {
     std::vector<std::size_t> lanes_idx;
     std::vector<std::size_t> solos;
@@ -484,39 +706,22 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
           .push_back(i);
     }
     if (!lanes_idx.empty()) {
-      std::vector<trace::ReplayConfig> cfgs;
-      cfgs.reserve(lanes_idx.size());
-      for (const std::size_t i : lanes_idx) {
-        cfgs.push_back(replay_config(planned[i], analytic));
-      }
-      const auto t0 = std::chrono::steady_clock::now();
-      bool replayed = false;
-      try {
-        const std::vector<trace::ReplayOutcome> outs =
-            analytic ? trace::MultiReplayDriver(std::move(cfgs))
-                           .run(*tr, *plan_for(trace_store_, key, *tr))
-                     : trace::MultiReplayDriver(std::move(cfgs)).run(*tr);
-        const double per_lane = ms_since(t0) /
-                                static_cast<double>(lanes_idx.size());
-        for (std::size_t k = 0; k < lanes_idx.size(); ++k) {
-          const std::size_t i = lanes_idx[k];
-          RunRecord record = base_record(planned[i]);
-          fill_outcome(record, outs[k].verified, outs[k].checksum,
-                       outs[k].simulated_seconds, outs[k].profile);
-          record.trace_source = analytic ? "analytic" : "replay";
-          record.cache_hit = false;
-          record.wall_ms = per_lane;
-          commit(cache_key(planned[i]), record);
-          records[i] = record;
+      std::shared_ptr<const trace::TracePlan> plan;
+      bool plan_ok = true;
+      if (analytic) {
+        try {
+          plan = plan_for(trace_store_, key, *tr);
+        } catch (const trace::TraceError&) {
+          trace_store_.erase(key);
+          fused.fallbacks.fetch_add(1);
+          plan_ok = false;
         }
-        fused.groups.fetch_add(1);
-        fused.lanes.fetch_add(lanes_idx.size());
-        replayed = true;
-      } catch (const trace::TraceError&) {
-        trace_store_.erase(key);
-        fused.fallbacks.fetch_add(1);
       }
-      if (replayed) {
+      if (plan_ok) {
+        release.count -= static_cast<unsigned>(lanes_idx.size());
+        serve_lane_shards(std::move(tr), std::move(plan),
+                          std::move(lanes_idx), planned, records, key,
+                          uses_left, fused, analytic);
         for (const std::size_t i : solos) run_solo(i);
         return;
       }
@@ -572,47 +777,33 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
           trace_store_.insert(key, recorder.finish(std::move(meta)));
 
       std::vector<std::size_t> lane_idx;
-      std::vector<trace::ReplayConfig> cfgs;
       for (std::size_t j = 1; j < todo.size(); ++j) {
         const std::size_t i = todo[j];
         if (planned[i].threads <= planned[i].spec.total_contexts()) {
           lane_idx.push_back(i);
-          cfgs.push_back(replay_config(planned[i], true));
         } else {
           solos.push_back(i);
         }
       }
-      bool replayed = false;
       if (!lane_idx.empty()) {
-        const auto t1 = std::chrono::steady_clock::now();
+        std::shared_ptr<const trace::TracePlan> plan;
+        bool plan_ok = true;
         try {
-          const std::vector<trace::ReplayOutcome> outs =
-              trace::MultiReplayDriver(std::move(cfgs))
-                  .run(*tr, *plan_for(trace_store_, key, *tr));
-          const double per_lane =
-              ms_since(t1) / static_cast<double>(lane_idx.size());
-          for (std::size_t k = 0; k < lane_idx.size(); ++k) {
-            const std::size_t i = lane_idx[k];
-            RunRecord record = base_record(planned[i]);
-            fill_outcome(record, outs[k].verified, outs[k].checksum,
-                         outs[k].simulated_seconds, outs[k].profile);
-            record.trace_source = "analytic";
-            record.cache_hit = false;
-            record.wall_ms = per_lane;
-            commit(cache_key(planned[i]), record);
-            records[i] = record;
-          }
-          fused.groups.fetch_add(1);
-          fused.lanes.fetch_add(lane_idx.size());
-          replayed = true;
+          plan = plan_for(trace_store_, key, *tr);
         } catch (const trace::TraceError&) {
           // A freshly recorded stream its own plan rejects — should not
           // happen, but the fallback ladder is the same as everywhere:
           // followers re-run solo, nothing aborts.
           trace_store_.erase(key);
           fused.fallbacks.fetch_add(1);
+          plan_ok = false;
         }
-        if (!replayed) {
+        if (plan_ok) {
+          release.count -= static_cast<unsigned>(lane_idx.size());
+          serve_lane_shards(std::move(tr), std::move(plan),
+                            std::move(lane_idx), planned, records, key,
+                            uses_left, fused, /*analytic=*/true);
+        } else {
           solos.insert(solos.end(), lane_idx.begin(), lane_idx.end());
         }
       }
@@ -632,9 +823,10 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
   std::vector<std::size_t> solos;
   std::vector<std::size_t> lane_idx;
 
-  trace::ReplaySubstrate substrate(lead_task.kernel, lead_task.klass,
-                                   lead_task.page_kind);
-  trace::LaneSet lanes(substrate, lead_task.threads);
+  trace::SubstratePool::Lease substrate = substrate_pool_.checkout(
+      lead_task.kernel, lead_task.klass, lead_task.page_kind);
+  trace::LaneArena arena;
+  trace::LaneSet lanes(*substrate, lead_task.threads);
   for (std::size_t j = 1; j < todo.size(); ++j) {
     const std::size_t i = todo[j];
     try {
@@ -645,6 +837,7 @@ void Scheduler::run_fused_group(const std::vector<std::size_t>& group,
                            // with its own diagnostics) on its own
     }
   }
+  lanes.seal(&arena);
   trace::LaneFanout fanout(lanes);
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -36,8 +36,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,14 +51,30 @@
 #include "exec/strategy.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "exec/topology.hpp"
+#include "trace/lane.hpp"
 #include "trace/store.hpp"
 
 namespace lpomp::exec {
 
 /// Result of one scheduler sweep: records in task order plus aggregates.
 struct SweepResult {
+  /// One sharded stream group's scheduling decision this sweep (host-side
+  /// telemetry — sharding changes when lanes run, never what they compute).
+  struct GroupSharding {
+    std::string stream;       ///< trace key of the group
+    std::string mode;         ///< "static" or "stealing" (as executed)
+    unsigned shards = 1;      ///< lane chunks the group was split into
+    double imbalance = 1.0;   ///< observed max/mean domain-bucket wall
+    double ewma = 1.0;        ///< governor EWMA after this observation
+    std::uint64_t promotions = 0;  ///< lifetime promotions of this stream
+    std::uint64_t demotions = 0;   ///< lifetime demotions of this stream
+  };
+
   std::vector<RunRecord> records;  ///< task order, independent of scheduling
   unsigned workers = 0;
+  unsigned domains = 1;            ///< topology domains (sockets) of the pool
+  std::string topology;            ///< pool shape, e.g. "2x2"
   double wall_ms = 0.0;
   ResultCache::Stats cache;        ///< LRU activity of THIS sweep only
   DiskResultStore::Stats store;    ///< disk-store activity of THIS sweep only
@@ -67,6 +85,14 @@ struct SweepResult {
   std::size_t fused_groups = 0;     ///< stream groups served multi-lane
   std::size_t fused_lanes = 0;      ///< follower grid points covered as lanes
   std::size_t replay_fallbacks = 0; ///< stored traces rejected → re-run live
+
+  // Topology/substrate provenance of THIS sweep (host-side).
+  std::vector<GroupSharding> sharding;     ///< sorted by stream key
+  std::uint64_t substrate_builds = 0;      ///< substrates constructed
+  std::uint64_t substrate_reuse = 0;       ///< checkouts served from the pool
+  std::uint64_t substrate_scrub_discards = 0;  ///< dirty returns rejected
+  std::uint64_t local_steals = 0;   ///< same-domain queue steals
+  std::uint64_t remote_steals = 0;  ///< cross-domain queue steals
 
   std::size_t completed() const;  ///< records with ok
   std::size_t failed() const;
@@ -107,6 +133,10 @@ class Scheduler {
     /// Root directory of the disk-persistent result store; empty → no
     /// disk tier (in-memory LRU only, the historical behaviour).
     std::string store_dir = {};
+    /// Socket × core shape of the pool. An explicit shape overrides
+    /// `workers` and fixes the domain layout (deterministic tests, CI);
+    /// unspecified → detected from the host, flat 1×N fallback.
+    Topology topology = {};
   };
 
   /// Maps a task to its record; the default runs npb::run_kernel. Tests
@@ -158,13 +188,24 @@ class Scheduler {
   /// both execute_task and the failure path start from).
   static RunRecord base_record(const RunTask& task);
 
+  const Topology& topology() const { return pool_.topology(); }
+  trace::SubstratePool& substrate_pool() { return substrate_pool_; }
+  const ShardingGovernor& governor() const { return governor_; }
+
  private:
-  /// Shared counters the fused-group jobs report into during one sweep.
+  /// Shared counters the fused-group jobs report into during one sweep,
+  /// plus the sharding decisions taken (one row per sharded group).
   struct FusedStats {
     std::atomic<std::size_t> groups{0};
     std::atomic<std::size_t> lanes{0};
     std::atomic<std::size_t> fallbacks{0};
+    std::mutex mu;
+    std::vector<SweepResult::GroupSharding> sharding;
   };
+
+  /// Mutable state one lane shard shares with its siblings: walls for the
+  /// imbalance observation, completion countdown, success tally.
+  struct ShardGroup;
 
   /// Layered probe: in-memory LRU first, then the disk store (a disk hit
   /// promotes into the LRU). Stamps cache_hit/store_hit provenance; the
@@ -188,6 +229,29 @@ class Scheduler {
                        std::atomic<unsigned>& uses_left, FusedStats& fused,
                        bool analytic);
 
+  /// Serves `lane_idx` (grid points of one stream group, all fitting their
+  /// platforms) from `tr` by submitting independent lane *shards* to the
+  /// pool — contiguous per-domain chunks under static mode, one stealable
+  /// task per lane once the governor promotes the stream. Each shard leases
+  /// a substrate from the pool, replays its lanes (through `plan` when
+  /// non-null), commits its records and releases its share of `uses_left`;
+  /// the last shard feeds the observed imbalance back to the governor.
+  /// Takes over trace-release responsibility for every index it is given —
+  /// the caller must subtract lane_idx.size() from its own release count.
+  /// Fully asynchronous: returns after submission; run()'s wait_idle() is
+  /// the join.
+  void serve_lane_shards(std::shared_ptr<const trace::Trace> tr,
+                         std::shared_ptr<const trace::TracePlan> plan,
+                         std::vector<std::size_t> lane_idx,
+                         const std::vector<RunTask>& planned,
+                         std::vector<RunRecord>& records,
+                         const std::string& key,
+                         std::atomic<unsigned>& uses_left, FusedStats& fused,
+                         bool analytic);
+
+  /// One shard's work: lease substrate, replay, commit, release, observe.
+  void run_shard(const std::shared_ptr<ShardGroup>& ctx, std::size_t shard);
+
   Config config_;
   TaskRunner runner_;
   bool custom_runner_ = false;
@@ -197,6 +261,8 @@ class Scheduler {
   ResultCache cache_;
   std::unique_ptr<DiskResultStore> disk_store_;
   trace::TraceStore trace_store_;
+  trace::SubstratePool substrate_pool_;
+  ShardingGovernor governor_;
   WorkStealingPool pool_;
 };
 

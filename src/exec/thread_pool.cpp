@@ -4,17 +4,33 @@
 
 namespace lpomp::exec {
 
-WorkStealingPool::WorkStealingPool(unsigned workers) {
-  if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
-  }
-  queues_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
+WorkStealingPool::WorkStealingPool(unsigned workers, Topology topology)
+    : topology_(Topology::resolve(topology, workers)) {
+  const unsigned n = topology_.workers();
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<Queue>());
   }
-  threads_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
+  // Victim order per worker: same-domain deques first (rotating from the
+  // next neighbour so siblings don't all hammer the same victim), then the
+  // remaining workers in the same rotated order.
+  steal_order_.resize(n);
+  same_domain_.resize(n);
+  for (unsigned self = 0; self < n; ++self) {
+    std::vector<std::size_t> near;
+    std::vector<std::size_t> far;
+    const unsigned home = topology_.domain_of(self);
+    for (unsigned d = 1; d < n; ++d) {
+      const unsigned victim = (self + d) % n;
+      (topology_.domain_of(victim) == home ? near : far).push_back(victim);
+    }
+    same_domain_[self] = near.size();
+    near.insert(near.end(), far.begin(), far.end());
+    steal_order_[self] = std::move(near);
+  }
+  next_in_domain_.assign(topology_.domains(), 0);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -29,6 +45,14 @@ WorkStealingPool::~WorkStealingPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void WorkStealingPool::enqueue(std::function<void()> fn, std::size_t target) {
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
 void WorkStealingPool::submit(std::function<void()> fn) {
   std::size_t target;
   {
@@ -37,11 +61,21 @@ void WorkStealingPool::submit(std::function<void()> fn) {
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
+  enqueue(std::move(fn), target);
+}
+
+void WorkStealingPool::submit_to_domain(std::function<void()> fn,
+                                        unsigned domain) {
+  domain %= topology_.domains();
+  const unsigned per = topology_.cores_per_socket;
+  std::size_t target;
   {
-    std::lock_guard lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(fn));
+    std::lock_guard lock(state_mutex_);
+    ++unfinished_;
+    target = std::size_t{domain} * per + next_in_domain_[domain];
+    next_in_domain_[domain] = (next_in_domain_[domain] + 1) % per;
   }
-  work_cv_.notify_one();
+  enqueue(std::move(fn), target);
 }
 
 void WorkStealingPool::wait_idle() {
@@ -60,13 +94,15 @@ bool WorkStealingPool::pop_own(std::size_t self, std::function<void()>& out) {
 
 bool WorkStealingPool::steal_other(std::size_t self,
                                    std::function<void()>& out) {
-  const std::size_t n = queues_.size();
-  for (std::size_t d = 1; d < n; ++d) {
-    Queue& victim = *queues_[(self + d) % n];
+  const std::vector<std::size_t>& order = steal_order_[self];
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Queue& victim = *queues_[order[k]];
     std::lock_guard lock(victim.mutex);
     if (victim.tasks.empty()) continue;
     out = std::move(victim.tasks.front());  // FIFO from the victim's end
     victim.tasks.pop_front();
+    (k < same_domain_[self] ? local_steals_ : remote_steals_)
+        .fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -77,6 +113,11 @@ void WorkStealingPool::worker_loop(std::size_t self) {
     std::function<void()> task;
     if (pop_own(self, task) || steal_other(self, task)) {
       task();
+      // Destroy the closure (and anything it owns — e.g. the last refs to a
+      // fused group's trace and compiled plan) BEFORE signalling completion:
+      // wait_idle() returning must mean all task state is gone, not merely
+      // executed, or the teardown cost leaks into whatever runs next.
+      task = nullptr;
       std::lock_guard lock(state_mutex_);
       if (--unfinished_ == 0) idle_cv_.notify_all();
       continue;

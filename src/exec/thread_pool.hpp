@@ -8,13 +8,22 @@
 // are seconds-long, so uncontended-pop micro-optimisations (Chase-Lev)
 // are deliberately skipped in favour of small, obviously-correct locking.
 //
+// The pool is topology-aware: workers are grouped into domains (sockets) by
+// an exec::Topology, victim scan order prefers same-domain deques before
+// crossing sockets, and submit() can target a domain so a lane shard and
+// the worker that first-touches its state land on the same memory node.
+// local/remote steal counts are exported so sweeps can report how often
+// work actually crossed a socket.
+//
 // The pool only schedules; determinism of results is the submitter's
 // problem and is solved by making every task self-contained (see
 // sweep.hpp) and writing each result to a pre-assigned slot.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -22,12 +31,23 @@
 #include <thread>
 #include <vector>
 
+#include "exec/topology.hpp"
+
 namespace lpomp::exec {
 
 class WorkStealingPool {
  public:
-  /// `workers == 0` → one per host hardware thread (min 1).
-  explicit WorkStealingPool(unsigned workers = 0);
+  /// Steal provenance: same-domain vs cross-domain victim queues.
+  struct StealStats {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+  };
+
+  /// `workers == 0` → one per host hardware thread (min 1). An explicit
+  /// `topology` overrides `workers` (the pool gets exactly
+  /// sockets × cores_per_socket threads); an unspecified one is detected
+  /// from the host and degrades to a flat single-domain shape.
+  explicit WorkStealingPool(unsigned workers = 0, Topology topology = {});
 
   /// Drains remaining work, then joins all workers.
   ~WorkStealingPool();
@@ -36,13 +56,25 @@ class WorkStealingPool {
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+  const Topology& topology() const { return topology_; }
+  unsigned domains() const { return topology_.domains(); }
 
-  /// Enqueues `fn`; round-robin across worker deques. `fn` must not throw
-  /// (the engine's task wrapper catches and records task failures).
+  /// Enqueues `fn`; round-robin across all worker deques. `fn` must not
+  /// throw (the engine's task wrapper catches and records task failures).
   void submit(std::function<void()> fn);
+
+  /// Enqueues `fn` on a worker of `domain % domains()` (round-robin within
+  /// the domain). The task still participates in stealing — the hint places
+  /// its first touch, it does not pin execution.
+  void submit_to_domain(std::function<void()> fn, unsigned domain);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
+
+  StealStats steal_stats() const {
+    return {local_steals_.load(std::memory_order_relaxed),
+            remote_steals_.load(std::memory_order_relaxed)};
+  }
 
  private:
   struct Queue {
@@ -50,18 +82,28 @@ class WorkStealingPool {
     std::deque<std::function<void()>> tasks;
   };
 
+  void enqueue(std::function<void()> fn, std::size_t target);
   bool pop_own(std::size_t self, std::function<void()>& out);
   bool steal_other(std::size_t self, std::function<void()>& out);
   void worker_loop(std::size_t self);
 
+  Topology topology_;
   std::vector<std::unique_ptr<Queue>> queues_;
+  /// steal_order_[self]: victim indices, same-domain workers first; the
+  /// first same_domain_[self] entries share self's domain.
+  std::vector<std::vector<std::size_t>> steal_order_;
+  std::vector<std::size_t> same_domain_;
   std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> local_steals_{0};
+  std::atomic<std::uint64_t> remote_steals_{0};
 
   std::mutex state_mutex_;
   std::condition_variable work_cv_;  ///< workers sleep here when the bag is dry
   std::condition_variable idle_cv_;  ///< wait_idle() sleeps here
   std::size_t unfinished_ = 0;       ///< submitted but not yet completed
   std::size_t next_queue_ = 0;
+  std::vector<std::size_t> next_in_domain_;  ///< per-domain round-robin cursor
   bool stopping_ = false;
 };
 

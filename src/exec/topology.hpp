@@ -1,0 +1,107 @@
+// Topology — the socket × core shape the scheduler and pool reason about,
+// plus the adaptive-chunking governor built on top of it.
+//
+// The pool's workers are grouped into *domains* (one per socket): steals
+// prefer same-domain victims so a lane shard's working set stays on the
+// memory node that first touched it, and the scheduler shards the lanes of
+// one stream group contiguously across domains. The shape comes from one of
+// two places:
+//
+//   * `--topology=SxC` (tests, CI, benchmarks) — an explicit, deterministic
+//     shape independent of the host, so identity checks like
+//     "--workers=4 --topology=2x2 equals --workers=1" mean the same thing
+//     on every machine;
+//   * detection — sysfs physical_package_id enumeration, falling back to a
+//     flat 1×N shape when sysfs is absent (containers) or the worker count
+//     does not divide evenly across packages.
+//
+// ShardingGovernor is the adaptive-chunking policy (the promote/demote idea
+// of the fine-grained dynamic-load-balancing literature): each stream group
+// starts under static contiguous chunking; when the observed shard-wall
+// imbalance EWMA (max/mean over domain-sized buckets) crosses `promote`,
+// the group's lanes are resubmitted as individually stealable tasks, and
+// when the EWMA settles below `demote` the group returns to static chunks.
+// The hysteresis band (demote < promote) keeps a group from flapping on
+// noise. Decisions are per stream key and live for the scheduler's
+// lifetime, so warm re-sweeps inherit what the cold sweep learned.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpomp::exec {
+
+struct Topology {
+  unsigned sockets = 0;           ///< 0 → unspecified (resolve at pool build)
+  unsigned cores_per_socket = 0;
+
+  bool specified() const { return sockets > 0 && cores_per_socket > 0; }
+  unsigned workers() const { return sockets * cores_per_socket; }
+  unsigned domains() const { return sockets; }
+  /// Domain (socket) of a worker index; workers are numbered socket-major,
+  /// so domain d owns workers [d*cores_per_socket, (d+1)*cores_per_socket).
+  unsigned domain_of(unsigned worker) const {
+    return (worker / cores_per_socket) % sockets;
+  }
+  std::string name() const;  ///< "SxC", or "auto" when unspecified
+
+  /// Parses "SxC" (e.g. "2x4"); throws std::invalid_argument on anything
+  /// else, including zero counts.
+  static Topology parse(const std::string& text);
+  static Topology flat(unsigned workers) { return Topology{1, workers}; }
+  /// Host shape for `workers` threads: sysfs package enumeration when it
+  /// divides the worker count evenly, flat otherwise.
+  static Topology detect(unsigned workers);
+  /// The shape a pool built from (requested, workers) actually uses: an
+  /// explicit request wins (and fixes the worker count); otherwise the
+  /// worker count is resolved (0 → host hardware threads) and detected.
+  static Topology resolve(const Topology& requested, unsigned workers);
+};
+
+/// Per-stream-group promote/demote state machine for adaptive chunking.
+/// Thread-safe; one instance per scheduler.
+class ShardingGovernor {
+ public:
+  struct Policy {
+    double promote = 1.5;  ///< EWMA above this → work-stealing chunks
+    double demote = 1.15;  ///< EWMA below this → back to static chunks
+    double alpha = 0.5;    ///< EWMA weight of the newest observation
+  };
+
+  struct Group {
+    double ewma = 1.0;          ///< smoothed max/mean shard-wall imbalance
+    double last = 1.0;          ///< most recent observation
+    bool stealing = false;      ///< current mode
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t observations = 0;
+  };
+
+  ShardingGovernor() = default;
+  explicit ShardingGovernor(Policy policy) : policy_(policy) {}
+
+  /// Mode the next execution of `stream` should run under.
+  bool stealing(const std::string& stream) const;
+
+  /// Feeds one observed imbalance (max/mean of domain-bucketed shard
+  /// walls, ≥ 1.0) and applies the promote/demote thresholds. Returns the
+  /// group's state after the update.
+  Group observe(const std::string& stream, double imbalance);
+
+  Group group(const std::string& stream) const;
+  const Policy& policy() const { return policy_; }
+
+  /// All groups ever observed, sorted by stream key.
+  std::vector<std::pair<std::string, Group>> snapshot() const;
+
+ private:
+  Policy policy_;
+  mutable std::mutex mu_;
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace lpomp::exec
